@@ -1,0 +1,43 @@
+// Deployment cost accounting: per-inference crossbar reads, ADC
+// conversions, energy and latency estimates for each task's network on
+// each Table I crossbar design, plus the mapping-knob sensitivity
+// (slices x streams multiply the pass count).
+#include "bench_util.h"
+#include "puma/cost_model.h"
+
+int main() {
+  using namespace nvm;
+  core::TablePrinter table({"Task", "Crossbar", "Mapping", "xbar reads",
+                            "ADC convs", "energy (nJ)", "latency (us)",
+                            "mean util"});
+
+  for (core::Task task : {core::task_scifar10(), core::task_simagenet()}) {
+    core::PreparedTask prepared = core::prepare(task);
+    const Tensor& sample = prepared.dataset.test_images.front();
+    for (const std::string& name : xbar::paper_model_names()) {
+      const xbar::CrossbarConfig cfg = xbar::preset(name);
+      for (const auto& [label, hw] : {
+               std::pair<std::string, puma::HwConfig>{"w7s3/i6t3", {}},
+               [] {
+                 puma::HwConfig h;
+                 h.slice_bits = 6;
+                 h.stream_bits = 6;
+                 return std::pair<std::string, puma::HwConfig>{"w7s6/i6t6", h};
+               }(),
+           }) {
+        puma::CostReport report =
+            puma::estimate_cost(prepared.network, sample, cfg, hw);
+        char util[16];
+        std::snprintf(util, sizeof util, "%.2f", report.mean_utilization);
+        table.add_row({task.name, name, label,
+                       std::to_string(report.total_crossbar_reads),
+                       std::to_string(report.total_adc_conversions),
+                       core::fmt(static_cast<float>(report.total_energy_nj)),
+                       core::fmt(static_cast<float>(report.total_latency_us)),
+                       util});
+      }
+    }
+  }
+  table.print("Per-inference deployment cost (first-order ISAAC/PUMA-style model)");
+  return 0;
+}

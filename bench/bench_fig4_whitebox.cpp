@@ -1,0 +1,68 @@
+// Fig. 4 reproduction: non-adaptive White-Box PGD (iter=30) on SCIFAR10
+// and SCIFAR100 — adversarial accuracy vs attack epsilon for the baseline
+// (accurate digital), the three NVM crossbar models, and the two defenses
+// (4-bit input bit-width reduction, SAP).
+//
+// The attacker holds the exact weights but computes gradients assuming
+// ideal digital MVMs (paper §III-C1c). Epsilons are the paper's
+// {0.5, 1, 2, 4}/255 scaled by the task's eps_scale (see EXPERIMENTS.md).
+#include "attack/pgd.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace nvm;
+  const std::vector<float> paper_eps = {0.5f, 1.0f, 2.0f, 4.0f};
+  const std::int64_t n_eval = env_int("NVMROBUST_FIG4_N", scaled(40, 500));
+  auto models = bench::paper_models();
+
+  for (core::Task task : {core::task_scifar10(), core::task_scifar100()}) {
+    Stopwatch total;
+    core::PreparedTask prepared = core::prepare(task);
+    auto images = prepared.eval_images(n_eval);
+    auto labels = prepared.eval_labels(n_eval);
+
+    // Craft one adversarial set per epsilon against the digital network.
+    attack::NetworkAttackModel attacker(prepared.network);
+    std::vector<std::vector<Tensor>> adv_sets;
+    Stopwatch craft;
+    for (float eps : paper_eps) {
+      attack::PgdOptions opt;
+      opt.epsilon = task.scaled_eps(eps);
+      opt.iters = 30;
+      adv_sets.push_back(core::craft_pgd(attacker, images, labels, opt));
+    }
+    bench::progress("PGD crafting " + task.name, craft.seconds());
+
+    std::printf("\n== Fig 4: non-adaptive White-Box PGD (iter=30), %s (%s), n=%lld ==\n",
+                task.name.c_str(), task.paper_analogue.c_str(),
+                static_cast<long long>(images.size()));
+    std::printf("x-axis: paper eps/255");
+    for (float eps : paper_eps) std::printf(", %.1f", eps);
+    std::printf("\n");
+
+    auto eval_series = [&](const std::string& name,
+                           const std::function<float(std::span<const Tensor>)>& fn) {
+      std::vector<float> series;
+      for (const auto& adv : adv_sets)
+        series.push_back(fn({adv.data(), adv.size()}));
+      core::print_series(name, series);
+    };
+
+    eval_series("baseline", [&](std::span<const Tensor> adv) {
+      return core::accuracy(core::plain_forward(prepared.network), adv, labels);
+    });
+    for (auto& nm : models) {
+      eval_series(nm.name, [&](std::span<const Tensor> adv) {
+        return bench::hw_accuracy(prepared, nm.model, adv, labels);
+      });
+    }
+    eval_series("4bit_input", [&](std::span<const Tensor> adv) {
+      return bench::bw_defense_accuracy(prepared.network, adv, labels);
+    });
+    eval_series("sap", [&](std::span<const Tensor> adv) {
+      return bench::sap_defense_accuracy(prepared.network, adv, labels);
+    });
+    std::printf("[%s done in %.0fs]\n", task.name.c_str(), total.seconds());
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Fig. 5 reproduction: absolute adversarial-accuracy gain vs crossbar
+// Non-ideality Factor, for the non-adaptive attacks on SCIFAR10/SCIFAR100.
+//
+// Paper shape: gain rises steeply from NF~0.07 to NF~0.14, then tapers at
+// NF~0.26 as inaccurate computation starts to outweigh the intrinsic
+// robustness (the push-pull effect).
+#include "attack/ensemble_bb.h"
+#include "attack/pgd.h"
+#include "attack/square.h"
+#include "bench_util.h"
+#include "xbar/nf.h"
+
+int main() {
+  using namespace nvm;
+  const std::int64_t n_eval = env_int("NVMROBUST_FIG5_N", scaled(32, 500));
+  auto models = bench::paper_models();
+
+  // Measure NF of each GENIEx model once.
+  std::vector<double> nf_values;
+  for (auto& nm : models) {
+    xbar::NfOptions opt;
+    opt.samples = scaled(24, 96);
+    nf_values.push_back(xbar::measure_nf(*nm.model, opt).nf);
+  }
+
+  core::TablePrinter table({"Task", "Attack", "Crossbar", "NF",
+                            "Baseline adv acc", "HW adv acc", "Gain"});
+
+  for (core::Task task : {core::task_scifar10(), core::task_scifar100()}) {
+    Stopwatch total;
+    core::PreparedTask prepared = core::prepare(task);
+    auto images = prepared.eval_images(n_eval);
+    auto labels = prepared.eval_labels(n_eval);
+
+    // Three non-adaptive adversarial sets: ensemble BB (eps 4), square
+    // (eps 4), white-box (eps 1) — the attacks plotted in the figure.
+    struct AdvSet {
+      std::string name;
+      std::vector<Tensor> adv;
+    };
+    std::vector<AdvSet> sets;
+
+    {
+      attack::EnsembleBbOptions bb_opt;
+      bb_opt.epochs =
+          static_cast<std::int64_t>(env_int("NVMROBUST_SURR_EPOCHS", 12));
+      attack::SurrogateEnsemble surrogates =
+          attack::SurrogateEnsemble::distill(
+              [&](const Tensor& x) {
+                return prepared.network.forward(x, nn::Mode::Eval);
+              },
+              prepared.dataset.train_images, task.data_spec.classes, bb_opt,
+              "nonadaptive_" + task.name);
+      auto ensemble = surrogates.attack_model();
+      attack::PgdOptions opt;
+      opt.epsilon = task.scaled_eps(4.0f);
+      opt.iters = 30;
+      sets.push_back(
+          {"EnsembleBB eps4", core::craft_pgd(*ensemble, images, labels, opt)});
+    }
+    {
+      attack::NetworkAttackModel victim(prepared.network);
+      attack::SquareOptions opt;
+      opt.epsilon = task.scaled_eps(4.0f);
+      opt.max_queries = env_int("NVMROBUST_SQ_QUERIES", scaled(100, 1000));
+      sets.push_back(
+          {"Square eps4", core::craft_square(victim, images, labels, opt)});
+    }
+    {
+      attack::NetworkAttackModel attacker(prepared.network);
+      attack::PgdOptions opt;
+      // Paper eps 2/255: the operating point where the baseline has
+      // collapsed into the paper's regime (see EXPERIMENTS.md on the
+      // epsilon mapping).
+      opt.epsilon = task.scaled_eps(2.0f);
+      opt.iters = 30;
+      sets.push_back(
+          {"WhiteBox eps2", core::craft_pgd(attacker, images, labels, opt)});
+    }
+
+    for (const AdvSet& set : sets) {
+      std::span<const Tensor> adv(set.adv.data(), set.adv.size());
+      const float baseline =
+          core::accuracy(core::plain_forward(prepared.network), adv, labels);
+      for (std::size_t m = 0; m < models.size(); ++m) {
+        const float hw =
+            bench::hw_accuracy(prepared, models[m].model, adv, labels);
+        table.add_row({task.name, set.name, models[m].name,
+                       core::fmt(static_cast<float>(nf_values[m])),
+                       core::fmt(baseline), core::fmt(hw),
+                       core::fmt(hw - baseline)});
+      }
+    }
+    std::printf("[%s done in %.0fs]\n", task.name.c_str(), total.seconds());
+  }
+
+  table.print("Fig 5: absolute robustness gain vs crossbar NF");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Microbenchmarks (google-benchmark) for the crossbar MVM backends and
+// the tiled GEMM path — the cost hierarchy that motivates using the
+// GENIEx surrogate (not the circuit solver) inside DNN experiments.
+#include <benchmark/benchmark.h>
+
+#include "puma/tiled_mvm.h"
+#include "tensor/ops.h"
+#include "xbar/circuit_solver.h"
+#include "xbar/fast_noise.h"
+#include "xbar/geniex.h"
+#include "xbar/model_zoo.h"
+
+namespace {
+
+using namespace nvm;
+
+xbar::CrossbarConfig bench_cfg(std::int64_t n) {
+  xbar::CrossbarConfig cfg = xbar::xbar_64x64_100k();
+  cfg.rows = cfg.cols = n;
+  return cfg;
+}
+
+Tensor bench_g(const xbar::CrossbarConfig& cfg) {
+  Rng rng(1);
+  return xbar::sample_conductances(cfg, rng);
+}
+
+Tensor bench_v(const xbar::CrossbarConfig& cfg) {
+  Rng rng(2);
+  return xbar::sample_voltages(cfg, rng);
+}
+
+void BM_IdealMvm(benchmark::State& state) {
+  const auto cfg = bench_cfg(state.range(0));
+  xbar::IdealXbarModel model(cfg);
+  auto programmed = model.program(bench_g(cfg));
+  Tensor v = bench_v(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm(v));
+}
+BENCHMARK(BM_IdealMvm)->Arg(32)->Arg(64);
+
+void BM_FastNoiseMvm(benchmark::State& state) {
+  const auto cfg = bench_cfg(state.range(0));
+  xbar::FastNoiseModel model(cfg);
+  auto programmed = model.program(bench_g(cfg));
+  Tensor v = bench_v(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm(v));
+}
+BENCHMARK(BM_FastNoiseMvm)->Arg(32)->Arg(64);
+
+void BM_GeniexMvm(benchmark::State& state) {
+  // Uses the cached Table I surrogate for the 64x64_100k preset.
+  auto model = xbar::make_geniex("64x64_100k");
+  const auto& cfg = model->config();
+  auto programmed = model->program(bench_g(cfg));
+  Tensor v = bench_v(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm(v));
+}
+BENCHMARK(BM_GeniexMvm);
+
+void BM_GeniexMvmBatch64(benchmark::State& state) {
+  auto model = xbar::make_geniex("64x64_100k");
+  const auto& cfg = model->config();
+  auto programmed = model->program(bench_g(cfg));
+  Rng rng(3);
+  Tensor vb({cfg.rows, 64});
+  for (auto& x : vb.data())
+    x = static_cast<float>(rng.uniform(0, cfg.v_read));
+  for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm_batch(vb));
+}
+BENCHMARK(BM_GeniexMvmBatch64)->Unit(benchmark::kMillisecond);
+
+void BM_CircuitSolverMvm(benchmark::State& state) {
+  const auto cfg = bench_cfg(state.range(0));
+  xbar::CircuitSolverModel model(cfg);
+  auto programmed = model.program(bench_g(cfg));
+  Tensor v = bench_v(cfg);
+  for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm(v));
+}
+BENCHMARK(BM_CircuitSolverMvm)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_TiledMatmul(benchmark::State& state) {
+  // A stage-2 conv GEMM: (16 x 72) weights, 36 im2col columns.
+  Rng rng(4);
+  Tensor w = Tensor::normal({16, 72}, 0, 0.1f, rng);
+  Tensor x({72, 36});
+  for (auto& v : x.data())
+    v = rng.bernoulli(0.5) ? 0.0f : static_cast<float>(rng.uniform(0, 1));
+  std::shared_ptr<const xbar::MvmModel> model;
+  if (state.range(0) == 0) {
+    model = std::make_shared<xbar::IdealXbarModel>(xbar::xbar_64x64_100k());
+  } else {
+    model = xbar::make_geniex("64x64_100k");
+  }
+  puma::TiledMatrix tiled(w, model, puma::HwConfig{});
+  for (auto _ : state) benchmark::DoNotOptimize(tiled.matmul(x, 1.0f));
+}
+BENCHMARK(BM_TiledMatmul)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_FloatGemmReference(benchmark::State& state) {
+  Rng rng(5);
+  Tensor w = Tensor::normal({16, 72}, 0, 0.1f, rng);
+  Tensor x = Tensor::uniform({72, 36}, 0, 1, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(matmul(w, x));
+}
+BENCHMARK(BM_FloatGemmReference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

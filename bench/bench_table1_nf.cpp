@@ -1,0 +1,55 @@
+// Table I reproduction: Non-ideality Factor of the three crossbar models.
+//
+// Paper values: 64x64_300k -> 0.07, 32x32_100k -> 0.14, 64x64_100k -> 0.26.
+// We measure NF on the circuit solver (HSPICE stand-in), on the trained
+// GENIEx surrogate, and on the analytical fast-noise model, over random
+// (G, V) patterns representative of sliced DNN workloads.
+#include <cstdio>
+#include <map>
+
+#include "common/env.h"
+#include "common/stopwatch.h"
+#include "core/report.h"
+#include "xbar/fast_noise.h"
+#include "xbar/model_zoo.h"
+#include "xbar/nf.h"
+
+int main() {
+  using namespace nvm;
+  const std::map<std::string, double> paper_nf = {
+      {"64x64_300k", 0.07}, {"32x32_100k", 0.14}, {"64x64_100k", 0.26}};
+
+  xbar::NfOptions nf_opt;
+  nf_opt.samples = scaled(32, 128);
+
+  core::TablePrinter table({"Crossbar Model", "Size", "R_ON (ohm)",
+                            "NF paper", "NF solver", "NF geniex",
+                            "NF fast-noise", "cols measured"});
+  Stopwatch watch;
+  for (const auto& name : xbar::paper_model_names()) {
+    const xbar::CrossbarConfig cfg = xbar::preset(name);
+
+    xbar::CircuitSolverModel solver(cfg);
+    const xbar::NfResult nf_solver = xbar::measure_nf(solver, nf_opt);
+
+    auto geniex = xbar::make_geniex(name);
+    const xbar::NfResult nf_geniex = xbar::measure_nf(*geniex, nf_opt);
+
+    xbar::FastNoiseModel fast(cfg);
+    const xbar::NfResult nf_fast = xbar::measure_nf(fast, nf_opt);
+
+    char size[32], ron[32];
+    std::snprintf(size, sizeof size, "%lldx%lld",
+                  static_cast<long long>(cfg.rows),
+                  static_cast<long long>(cfg.cols));
+    std::snprintf(ron, sizeof ron, "%.0fk", cfg.r_on / 1000.0);
+    table.add_row({name, size, ron, core::fmt(paper_nf.at(name)),
+                   core::fmt(static_cast<float>(nf_solver.nf)),
+                   core::fmt(static_cast<float>(nf_geniex.nf)),
+                   core::fmt(static_cast<float>(nf_fast.nf)),
+                   std::to_string(nf_solver.columns_measured)});
+  }
+  table.print("Table I: crossbar models and non-ideality factors");
+  std::printf("elapsed: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Table III reproduction: non-adaptive attack summary for all three
+// tasks. Rows per task:
+//   Clean
+//   Ensemble (Black Box) PGD  eps=4/255 paper, iter=30   (CIFAR tasks)
+//   Square Attack (Black Box) eps=4/255 paper             (all tasks)
+//   White Box PGD             eps=1/255 and 2/255 paper, iter=30
+// Columns: baseline (digital), the 3 NVM crossbar models, and the
+// defenses (4-bit input for all; SAP for CIFAR tasks, Random Pad for the
+// ImageNet task), each cell as "value (delta vs baseline)".
+#include "attack/ensemble_bb.h"
+#include "attack/pgd.h"
+#include "attack/square.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace nvm;
+
+/// Evaluates one adversarial (or clean) image set across all columns.
+std::vector<std::string> eval_row(
+    const std::string& row_name, core::PreparedTask& prepared,
+    std::vector<bench::NamedModel>& models, std::span<const Tensor> images,
+    std::span<const std::int64_t> labels, bool imagenet_defenses) {
+  std::vector<std::string> cells{row_name};
+  const float baseline =
+      core::accuracy(core::plain_forward(prepared.network), images, labels);
+  cells.push_back(core::fmt(baseline));
+  for (auto& nm : models)
+    cells.push_back(core::with_delta(
+        bench::hw_accuracy(prepared, nm.model, images, labels), baseline));
+  cells.push_back(core::with_delta(
+      bench::bw_defense_accuracy(prepared.network, images, labels), baseline));
+  if (imagenet_defenses) {
+    cells.push_back(core::with_delta(
+        bench::randpad_defense_accuracy(prepared.network, images, labels),
+        baseline));
+  } else {
+    cells.push_back(core::with_delta(
+        bench::sap_defense_accuracy(prepared.network, images, labels),
+        baseline));
+  }
+  return cells;
+}
+
+void run_task(const core::Task& task, std::vector<bench::NamedModel>& models) {
+  Stopwatch total;
+  core::PreparedTask prepared = core::prepare(task);
+  const bool imagenet = task.name == "SIMAGENET";
+  const std::int64_t n_eval =
+      env_int("NVMROBUST_T3_N", scaled(imagenet ? 32 : 40, 1000));
+  auto images = prepared.eval_images(n_eval);
+  auto labels = prepared.eval_labels(n_eval);
+
+  core::TablePrinter table(
+      {"Attack", "Baseline", "64x64_300k", "32x32_100k", "64x64_100k",
+       "4-bit input", imagenet ? "Random Pad" : "SAP"});
+
+  // Clean row (uses the larger test set for a stable clean number).
+  auto clean_imgs = prepared.eval_images(scaled(128, 1000));
+  auto clean_lbls = prepared.eval_labels(scaled(128, 1000));
+  table.add_row(eval_row("Clean", prepared, models, clean_imgs, clean_lbls,
+                         imagenet));
+
+  // Ensemble black-box PGD at paper eps 4/255 (CIFAR tasks only, as in
+  // the paper's Table III).
+  if (!imagenet) {
+    Stopwatch sw;
+    attack::EnsembleBbOptions bb_opt;
+    bb_opt.epochs = static_cast<std::int64_t>(
+        env_int("NVMROBUST_SURR_EPOCHS", 12));
+    attack::SurrogateEnsemble surrogates = attack::SurrogateEnsemble::distill(
+        [&](const Tensor& x) {
+          return prepared.network.forward(x, nn::Mode::Eval);
+        },
+        prepared.dataset.train_images, task.data_spec.classes, bb_opt,
+        "nonadaptive_" + task.name);
+    auto ensemble = surrogates.attack_model();
+    attack::PgdOptions opt;
+    opt.epsilon = task.scaled_eps(4.0f);
+    opt.iters = 30;
+    std::vector<Tensor> adv = core::craft_pgd(*ensemble, images, labels, opt);
+    bench::progress("ensemble BB crafting", sw.seconds());
+    table.add_row(eval_row("Ensemble BB PGD " + bench::eps_label(task, 4),
+                           prepared, models, adv, labels, imagenet));
+  }
+
+  // Square attack (black box) at paper eps 4/255, querying the digital
+  // implementation (non-adaptive).
+  {
+    Stopwatch sw;
+    attack::NetworkAttackModel victim(prepared.network);
+    attack::SquareOptions opt;
+    opt.epsilon = task.scaled_eps(4.0f);
+    opt.max_queries = env_int("NVMROBUST_SQ_QUERIES",
+                              scaled(imagenet ? 60 : 100, 1000));
+    std::vector<Tensor> adv = core::craft_square(victim, images, labels, opt);
+    bench::progress("square crafting", sw.seconds());
+    char name[96];
+    std::snprintf(name, sizeof name, "Square BB %s q=%lld",
+                  bench::eps_label(task, 4).c_str(),
+                  static_cast<long long>(opt.max_queries));
+    table.add_row(eval_row(name, prepared, models, adv, labels, imagenet));
+  }
+
+  // White-box PGD at paper eps 1/255 and 2/255.
+  for (float eps : {1.0f, 2.0f}) {
+    Stopwatch sw;
+    attack::NetworkAttackModel attacker(prepared.network);
+    attack::PgdOptions opt;
+    opt.epsilon = task.scaled_eps(eps);
+    opt.iters = 30;
+    std::vector<Tensor> adv = core::craft_pgd(attacker, images, labels, opt);
+    bench::progress("white-box crafting", sw.seconds());
+    table.add_row(eval_row("White Box PGD " + bench::eps_label(task, eps),
+                           prepared, models, adv, labels, imagenet));
+  }
+
+  char title[160];
+  std::snprintf(title, sizeof title,
+                "Table III: %s (%s), attack samples=%lld",
+                task.name.c_str(), task.paper_analogue.c_str(),
+                static_cast<long long>(images.size()));
+  table.print(title);
+  std::printf("[%s done in %.0fs]\n", task.name.c_str(), total.seconds());
+}
+
+}  // namespace
+
+int main() {
+  auto models = nvm::bench::paper_models();
+  for (const auto& task :
+       {nvm::core::task_scifar10(), nvm::core::task_scifar100(),
+        nvm::core::task_simagenet()})
+    run_task(task, models);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared plumbing for the experiment harnesses: crossbar model set,
+// hardware-accuracy evaluation, defended forwards, and attack crafting
+// with progress reporting.
+//
+// All harnesses run at reduced sample counts on one core; REPRO_FULL=1
+// raises them (common/env.h). Trained targets, GENIEx fits, and distilled
+// surrogates are cached under ./repro_cache, so only the first run pays
+// for training.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/stopwatch.h"
+#include "core/evaluator.h"
+#include "core/report.h"
+#include "core/tasks.h"
+#include "defense/defenses.h"
+#include "puma/hw_network.h"
+#include "xbar/model_zoo.h"
+
+namespace nvm::bench {
+
+/// The three Table I crossbar models with cached GENIEx surrogates.
+struct NamedModel {
+  std::string name;
+  std::shared_ptr<xbar::GeniexModel> model;
+};
+
+inline std::vector<NamedModel> paper_models() {
+  std::vector<NamedModel> out;
+  for (const std::string& name : xbar::paper_model_names())
+    out.push_back({name, xbar::make_geniex(name)});
+  return out;
+}
+
+/// Accuracy of `net` deployed on `model` over an image set. Deployment is
+/// scoped: the network is restored afterwards.
+inline float hw_accuracy(core::PreparedTask& prepared,
+                         const std::shared_ptr<xbar::GeniexModel>& model,
+                         std::span<const Tensor> images,
+                         std::span<const std::int64_t> labels) {
+  auto calib = prepared.calibration_images();
+  puma::HwDeployment deployment(prepared.network, model, calib);
+  return core::accuracy(core::plain_forward(prepared.network), images, labels);
+}
+
+/// Accuracy behind the 4-bit input bit-width-reduction defense [35].
+inline float bw_defense_accuracy(nn::Network& net,
+                                 std::span<const Tensor> images,
+                                 std::span<const std::int64_t> labels) {
+  core::ForwardFn fn = [&net](const Tensor& x) {
+    return net.forward(defense::reduce_bit_width(x, 4), nn::Mode::Eval);
+  };
+  return core::accuracy(fn, images, labels);
+}
+
+/// Accuracy behind stochastic activation pruning [20] (attach, eval,
+/// detach).
+inline float sap_defense_accuracy(nn::Network& net,
+                                  std::span<const Tensor> images,
+                                  std::span<const std::int64_t> labels) {
+  auto handle = defense::attach_sap(net, defense::SapOptions{});
+  const float acc =
+      core::accuracy(core::plain_forward(net), images, labels);
+  net.set_conv_eval_hooks(nullptr);
+  return acc;
+}
+
+/// Accuracy behind random resize + pad [25] (ImageNet-style defense).
+inline float randpad_defense_accuracy(nn::Network& net,
+                                      std::span<const Tensor> images,
+                                      std::span<const std::int64_t> labels) {
+  auto rng = std::make_shared<Rng>(171);
+  core::ForwardFn fn = [&net, rng](const Tensor& x) {
+    defense::RandomPadOptions opt;
+    return net.forward(defense::random_resize_pad(x, opt, *rng),
+                       nn::Mode::Eval);
+  };
+  return core::accuracy(fn, images, labels);
+}
+
+/// Progress line helper for long crafting phases.
+inline void progress(const std::string& what, double seconds) {
+  std::printf("  [%s done in %.0fs]\n", what.c_str(), seconds);
+  std::fflush(stdout);
+}
+
+/// Formats an epsilon in 1/255 units, annotated with the paper-equivalent
+/// value given the task's eps_scale.
+inline std::string eps_label(const core::Task& task, float paper_eps_255) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "eps=%.0f/255 (paper %.0f/255)",
+                static_cast<double>(paper_eps_255 * task.eps_scale),
+                static_cast<double>(paper_eps_255));
+  return buf;
+}
+
+}  // namespace nvm::bench

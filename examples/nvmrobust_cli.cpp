@@ -1,0 +1,199 @@
+// nvmrobust_cli — command-line front end for one-off experiments.
+//
+// Subcommands:
+//   nf [--rows N] [--cols N] [--ron OHM] [--rwire OHM] [--samples K]
+//       Fit a GENIEx surrogate for a custom crossbar design (cached) and
+//       print its NF measured on surrogate and circuit solver.
+//   tasks
+//       List the built-in tasks with their dataset/network parameters.
+//   eval --task NAME [--xbar MODEL] [--n K]
+//       Clean accuracy of a task's (cached) network, digital or deployed.
+//   attack --task NAME [--xbar MODEL] [--eps E/255] [--iters I] [--n K]
+//       Non-adaptive white-box PGD: craft on digital, evaluate digital +
+//       optional crossbar deployment.
+//
+// All artifacts cache under ./repro_cache; everything is deterministic.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "attack/pgd.h"
+#include "core/evaluator.h"
+#include "core/tasks.h"
+#include "puma/hw_network.h"
+#include "xbar/model_zoo.h"
+#include "xbar/nf.h"
+
+namespace {
+
+using namespace nvm;
+
+/// Minimal --key value parser; flags must all take a value.
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+double flag_or(const std::map<std::string, std::string>& flags,
+               const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+core::Task find_task(const std::string& name) {
+  for (const core::Task& t : core::all_tasks())
+    if (t.name == name) return t;
+  std::fprintf(stderr, "unknown task '%s' (try: SCIFAR10, SCIFAR100, SIMAGENET)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int cmd_nf(const std::map<std::string, std::string>& flags) {
+  xbar::CrossbarConfig cfg = xbar::xbar_64x64_100k();
+  cfg.rows = static_cast<std::int64_t>(flag_or(flags, "rows", 64));
+  cfg.cols = static_cast<std::int64_t>(flag_or(flags, "cols", cfg.rows));
+  cfg.r_on = flag_or(flags, "ron", cfg.r_on);
+  cfg.r_wire = flag_or(flags, "rwire", cfg.r_wire);
+  cfg.r_source = flag_or(flags, "rsource", cfg.r_source);
+  cfg.r_sink = flag_or(flags, "rsink", cfg.r_sink);
+  char name[64];
+  std::snprintf(name, sizeof name, "cli_%lldx%lld_%.0fk",
+                static_cast<long long>(cfg.rows),
+                static_cast<long long>(cfg.cols), cfg.r_on / 1000.0);
+  cfg.name = name;
+
+  xbar::GeniexTrainOptions train;
+  train.solver_samples =
+      static_cast<std::int64_t>(flag_or(flags, "samples", 240));
+  auto model = xbar::GeniexModel::load_or_train(cfg, train);
+
+  xbar::NfOptions nf_opt;
+  nf_opt.samples = static_cast<std::int64_t>(flag_or(flags, "nf_samples", 24));
+  const auto geniex_nf = xbar::measure_nf(model, nf_opt);
+  xbar::CircuitSolverModel solver(cfg);
+  const auto solver_nf = xbar::measure_nf(solver, nf_opt);
+  std::printf("design %s: NF = %.4f +- %.4f (geniex), %.4f +- %.4f (solver)\n",
+              cfg.name.c_str(), geniex_nf.nf, geniex_nf.nf_stddev,
+              solver_nf.nf, solver_nf.nf_stddev);
+  return 0;
+}
+
+int cmd_tasks() {
+  std::printf("%-10s %-24s %7s %6s %7s %6s\n", "name", "paper analogue",
+              "classes", "size", "train", "test");
+  for (const core::Task& t : core::all_tasks())
+    std::printf("%-10s %-24s %7lld %6lld %7lld %6lld\n", t.name.c_str(),
+                t.paper_analogue.c_str(),
+                static_cast<long long>(t.data_spec.classes),
+                static_cast<long long>(t.data_spec.image_size),
+                static_cast<long long>(t.data_spec.train_count),
+                static_cast<long long>(t.data_spec.test_count));
+  return 0;
+}
+
+int cmd_eval(const std::map<std::string, std::string>& flags) {
+  core::PreparedTask prepared =
+      core::prepare(find_task(flag_or(flags, "task", "SCIFAR10")));
+  const auto n = static_cast<std::int64_t>(flag_or(flags, "n", 96));
+  auto images = prepared.eval_images(n);
+  auto labels = prepared.eval_labels(n);
+  const std::string xbar_name = flag_or(flags, "xbar", std::string());
+  if (xbar_name.empty()) {
+    std::printf("%s digital accuracy: %.2f%% (n=%lld)\n",
+                prepared.task.name.c_str(),
+                core::accuracy(core::plain_forward(prepared.network), images,
+                               labels),
+                static_cast<long long>(images.size()));
+  } else {
+    auto model = xbar::make_geniex(xbar_name);
+    auto calib = prepared.calibration_images();
+    puma::HwDeployment dep(prepared.network, model, calib);
+    std::printf("%s on %s: %.2f%% (n=%lld)\n", prepared.task.name.c_str(),
+                xbar_name.c_str(),
+                core::accuracy(core::plain_forward(prepared.network), images,
+                               labels),
+                static_cast<long long>(images.size()));
+  }
+  return 0;
+}
+
+int cmd_attack(const std::map<std::string, std::string>& flags) {
+  core::PreparedTask prepared =
+      core::prepare(find_task(flag_or(flags, "task", "SCIFAR10")));
+  const auto n = static_cast<std::int64_t>(flag_or(flags, "n", 48));
+  auto images = prepared.eval_images(n);
+  auto labels = prepared.eval_labels(n);
+
+  attack::PgdOptions opt;
+  opt.epsilon = static_cast<float>(flag_or(flags, "eps", 6.0)) / 255.0f;
+  opt.iters = static_cast<std::int64_t>(flag_or(flags, "iters", 30));
+  attack::NetworkAttackModel attacker(prepared.network);
+  std::vector<Tensor> adv = core::craft_pgd(attacker, images, labels, opt);
+
+  std::printf("white-box PGD eps=%.1f/255 iters=%lld on %s (n=%lld)\n",
+              opt.epsilon * 255.0f, static_cast<long long>(opt.iters),
+              prepared.task.name.c_str(),
+              static_cast<long long>(images.size()));
+  std::printf("  digital: clean %.2f%%, adversarial %.2f%%\n",
+              core::accuracy(core::plain_forward(prepared.network), images,
+                             labels),
+              core::accuracy(core::plain_forward(prepared.network),
+                             std::span<const Tensor>(adv.data(), adv.size()),
+                             labels));
+  const std::string xbar_name = flag_or(flags, "xbar", std::string());
+  if (!xbar_name.empty()) {
+    auto model = xbar::make_geniex(xbar_name);
+    auto calib = prepared.calibration_images();
+    puma::HwDeployment dep(prepared.network, model, calib);
+    std::printf("  %s: clean %.2f%%, adversarial %.2f%%\n", xbar_name.c_str(),
+                core::accuracy(core::plain_forward(prepared.network), images,
+                               labels),
+                core::accuracy(core::plain_forward(prepared.network),
+                               std::span<const Tensor>(adv.data(), adv.size()),
+                               labels));
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: nvmrobust_cli <command> [--flag value ...]\n"
+      "  tasks                               list built-in tasks\n"
+      "  nf     [--rows N --ron OHM ...]     NF of a custom crossbar design\n"
+      "  eval   --task NAME [--xbar MODEL]   clean accuracy\n"
+      "  attack --task NAME [--xbar MODEL --eps E --iters I]\n"
+      "                                      white-box PGD + transfer\n"
+      "crossbar MODEL is one of: 64x64_300k, 32x32_100k, 64x64_100k\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (cmd == "nf") return cmd_nf(flags);
+  if (cmd == "tasks") return cmd_tasks();
+  if (cmd == "eval") return cmd_eval(flags);
+  if (cmd == "attack") return cmd_attack(flags);
+  usage();
+  return 2;
+}

@@ -1,0 +1,63 @@
+// The attacker's view of a model.
+//
+// Attacks are written against this interface so the same PGD/Square code
+// serves every threat scenario of Table II: what varies is which concrete
+// AttackModel the attacker holds —
+//   * NetworkAttackModel over an ideal-engine network  -> non-adaptive
+//     white box ("accurate digital computation");
+//   * NetworkAttackModel over a crossbar-deployed network -> adaptive
+//     "Hardware-in-Loop" white box (non-ideal forward, ideal backward);
+//   * EnsembleAttackModel over distilled surrogates -> black box.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace nvm::attack {
+
+class AttackModel {
+ public:
+  virtual ~AttackModel() = default;
+
+  /// Queries logits (the attacker-visible output).
+  virtual Tensor logits(const Tensor& x) = 0;
+
+  /// d(cross_entropy(logits(x), label))/dx. Optionally reports the loss.
+  virtual Tensor loss_input_grad(const Tensor& x, std::int64_t label,
+                                 float* loss_out = nullptr) = 0;
+
+  std::int64_t predict(const Tensor& x) { return logits(x).argmax(); }
+};
+
+/// Attack view of a single network (with whatever MVM engines are
+/// currently installed on it).
+class NetworkAttackModel final : public AttackModel {
+ public:
+  explicit NetworkAttackModel(nn::Network& net) : net_(&net) {}
+
+  Tensor logits(const Tensor& x) override;
+  Tensor loss_input_grad(const Tensor& x, std::int64_t label,
+                         float* loss_out = nullptr) override;
+
+ private:
+  nn::Network* net_;
+};
+
+/// Stack-parallel ensemble (paper ref [34]): the attack loss is the sum of
+/// member cross-entropies, so the input gradient is the sum of member
+/// gradients; queries return averaged logits.
+class EnsembleAttackModel final : public AttackModel {
+ public:
+  explicit EnsembleAttackModel(std::vector<nn::Network*> members);
+
+  Tensor logits(const Tensor& x) override;
+  Tensor loss_input_grad(const Tensor& x, std::int64_t label,
+                         float* loss_out = nullptr) override;
+
+ private:
+  std::vector<nn::Network*> members_;
+};
+
+}  // namespace nvm::attack

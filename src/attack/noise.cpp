@@ -1,0 +1,26 @@
+#include "attack/noise.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nvm::attack {
+
+Tensor random_sign_noise(const Tensor& x, float epsilon, Rng& rng) {
+  NVM_CHECK_GT(epsilon, 0.0f);
+  Tensor out = x;
+  for (auto& v : out.data())
+    v = std::clamp(v + epsilon * static_cast<float>(rng.sign()), 0.0f, 1.0f);
+  return out;
+}
+
+Tensor random_uniform_noise(const Tensor& x, float epsilon, Rng& rng) {
+  NVM_CHECK_GT(epsilon, 0.0f);
+  Tensor out = x;
+  for (auto& v : out.data())
+    v = std::clamp(
+        v + static_cast<float>(rng.uniform(-epsilon, epsilon)), 0.0f, 1.0f);
+  return out;
+}
+
+}  // namespace nvm::attack

@@ -1,0 +1,21 @@
+// Random-perturbation control.
+//
+// Adversarial robustness claims need a noise control: if a deployment's
+// accuracy under PGD merely matched its accuracy under *random* l_inf
+// noise of the same budget, the attack would not be doing anything
+// gradient-specific. These helpers generate that control condition.
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace nvm::attack {
+
+/// x + epsilon * random sign per pixel, clamped to [0, 1] — the strongest
+/// isotropic random perturbation in the l_inf ball (corner noise).
+Tensor random_sign_noise(const Tensor& x, float epsilon, Rng& rng);
+
+/// x + Uniform(-epsilon, epsilon) per pixel, clamped to [0, 1].
+Tensor random_uniform_noise(const Tensor& x, float epsilon, Rng& rng);
+
+}  // namespace nvm::attack

@@ -1,0 +1,86 @@
+#include "attack/pgd.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nvm::attack {
+
+namespace {
+
+/// Projects `adv` onto the l_inf ball of radius eps around `x`, then onto
+/// the valid pixel range [0, 1].
+void project(Tensor& adv, const Tensor& x, float eps) {
+  auto pa = adv.data();
+  auto px = x.data();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    const float lo = std::max(px[i] - eps, 0.0f);
+    const float hi = std::min(px[i] + eps, 1.0f);
+    pa[i] = std::clamp(pa[i], lo, hi);
+  }
+}
+
+}  // namespace
+
+Tensor pgd_attack(AttackModel& model, const Tensor& x, std::int64_t label,
+                  const PgdOptions& opt) {
+  NVM_CHECK_GT(opt.epsilon, 0.0f);
+  NVM_CHECK_GT(opt.iters, 0);
+  Tensor adv = x;
+  if (opt.random_start) {
+    Rng rng(opt.seed);
+    for (auto& v : adv.data())
+      v += static_cast<float>(rng.uniform(-opt.epsilon, opt.epsilon));
+    project(adv, x, opt.epsilon);
+  }
+  const float alpha = opt.step();
+  for (std::int64_t it = 0; it < opt.iters; ++it) {
+    Tensor grad = model.loss_input_grad(adv, label);
+    auto pa = adv.data();
+    auto pg = grad.data();
+    for (std::size_t i = 0; i < pa.size(); ++i)
+      pa[i] += alpha * (pg[i] > 0.0f ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f));
+    project(adv, x, opt.epsilon);
+  }
+  return adv;
+}
+
+Tensor mi_fgsm_attack(AttackModel& model, const Tensor& x, std::int64_t label,
+                      const MiFgsmOptions& opt) {
+  NVM_CHECK_GT(opt.epsilon, 0.0f);
+  NVM_CHECK_GT(opt.iters, 0);
+  const float alpha = opt.epsilon / static_cast<float>(opt.iters);
+  Tensor adv = x;
+  Tensor momentum(x.shape());
+  for (std::int64_t it = 0; it < opt.iters; ++it) {
+    Tensor grad = model.loss_input_grad(adv, label);
+    // l1-normalize the fresh gradient before accumulating.
+    double l1 = 0.0;
+    for (float g : grad.data()) l1 += std::abs(g);
+    const float inv = l1 > 0 ? static_cast<float>(1.0 / l1) : 0.0f;
+    auto pm = momentum.data();
+    auto pg = grad.data();
+    auto pa = adv.data();
+    for (std::size_t i = 0; i < pm.size(); ++i) {
+      pm[i] = opt.mu * pm[i] + pg[i] * inv;
+      pa[i] += alpha * (pm[i] > 0.0f ? 1.0f : (pm[i] < 0.0f ? -1.0f : 0.0f));
+    }
+    project(adv, x, opt.epsilon);
+  }
+  return adv;
+}
+
+Tensor fgsm_attack(AttackModel& model, const Tensor& x, std::int64_t label,
+                   float epsilon) {
+  NVM_CHECK_GT(epsilon, 0.0f);
+  Tensor grad = model.loss_input_grad(x, label);
+  Tensor adv = x;
+  auto pa = adv.data();
+  auto pg = grad.data();
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    pa[i] += epsilon * (pg[i] > 0.0f ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f));
+  project(adv, x, epsilon);
+  return adv;
+}
+
+}  // namespace nvm::attack

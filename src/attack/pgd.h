@@ -1,0 +1,45 @@
+// Projected Gradient Descent attack (Madry et al., paper Eq. 4) under the
+// l_inf norm, plus single-step FGSM.
+#pragma once
+
+#include "attack/attack_model.h"
+
+namespace nvm::attack {
+
+struct PgdOptions {
+  float epsilon = 4.0f / 255.0f;  ///< l_inf ball radius
+  std::int64_t iters = 30;
+  /// Step size; <= 0 selects the standard 2.5 * epsilon / iters.
+  float alpha = 0.0f;
+  bool random_start = true;
+  std::uint64_t seed = 5;
+
+  float step() const {
+    return alpha > 0 ? alpha : 2.5f * epsilon / static_cast<float>(iters);
+  }
+};
+
+/// Returns the adversarial image: iterated ascent on the model's loss,
+/// projected to the epsilon-ball around x intersected with [0, 1].
+Tensor pgd_attack(AttackModel& model, const Tensor& x, std::int64_t label,
+                  const PgdOptions& opt);
+
+/// Fast Gradient Sign Method: x + epsilon * sign(grad).
+Tensor fgsm_attack(AttackModel& model, const Tensor& x, std::int64_t label,
+                   float epsilon);
+
+struct MiFgsmOptions {
+  float epsilon = 4.0f / 255.0f;
+  std::int64_t iters = 10;
+  /// Gradient momentum decay (Dong et al. 2018 use 1.0).
+  float mu = 1.0f;
+};
+
+/// Momentum Iterative FGSM (MI-FGSM, Dong et al. 2018): accumulates an
+/// l1-normalized gradient momentum before taking the sign step. Known to
+/// transfer better across models than vanilla PGD — the natural stronger
+/// attacker for the black-box transfer scenarios.
+Tensor mi_fgsm_attack(AttackModel& model, const Tensor& x, std::int64_t label,
+                      const MiFgsmOptions& opt);
+
+}  // namespace nvm::attack

@@ -1,0 +1,94 @@
+#include "attack/square.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/loss.h"
+
+namespace nvm::attack {
+
+namespace {
+
+/// Piecewise schedule of the pixel fraction p, following the reference
+/// implementation's halving points, rescaled to the query budget.
+float p_schedule(float p_init, std::int64_t it, std::int64_t n_iters) {
+  const double frac = static_cast<double>(it) /
+                      static_cast<double>(std::max<std::int64_t>(1, n_iters));
+  // Halving breakpoints at 10/50/200/500/1000/2000/4000/6000/8000 out of
+  // 10000 iterations in the reference; expressed here as fractions.
+  static constexpr double kBreaks[] = {0.001, 0.005, 0.02, 0.05, 0.1,
+                                       0.2,   0.4,   0.6,  0.8};
+  float p = p_init;
+  for (double b : kBreaks)
+    if (frac > b) p /= 2.0f;
+  return p;
+}
+
+float clamp01(float v) { return std::clamp(v, 0.0f, 1.0f); }
+
+}  // namespace
+
+SquareResult square_attack(AttackModel& model, const Tensor& x,
+                           std::int64_t label, const SquareOptions& opt) {
+  NVM_CHECK_EQ(x.rank(), 3u);
+  NVM_CHECK_GT(opt.epsilon, 0.0f);
+  const std::int64_t c = x.dim(0), h = x.dim(1), w = x.dim(2);
+  Rng rng(opt.seed);
+  const float eps = opt.epsilon;
+
+  SquareResult res;
+  res.adv = x;
+  // Initialization: vertical stripes of +/- eps per channel and column.
+  for (std::int64_t ch = 0; ch < c; ++ch)
+    for (std::int64_t col = 0; col < w; ++col) {
+      const float delta = static_cast<float>(rng.sign()) * eps;
+      for (std::int64_t row = 0; row < h; ++row)
+        res.adv.at(ch, row, col) = clamp01(x.at(ch, row, col) + delta);
+    }
+
+  Tensor logits = model.logits(res.adv);
+  ++res.queries_used;
+  float best_margin = nn::margin(logits, label);
+  if (best_margin < 0) {
+    res.success = true;
+    return res;
+  }
+
+  while (res.queries_used < opt.max_queries) {
+    const float p = p_schedule(opt.p_init, res.queries_used, opt.max_queries);
+    std::int64_t side = static_cast<std::int64_t>(
+        std::lround(std::sqrt(p * static_cast<float>(h * w))));
+    side = std::clamp<std::int64_t>(side, 1, std::min(h, w));
+    const std::int64_t y0 =
+        static_cast<std::int64_t>(rng.uniform_index(
+            static_cast<std::uint64_t>(h - side + 1)));
+    const std::int64_t x0 =
+        static_cast<std::int64_t>(rng.uniform_index(
+            static_cast<std::uint64_t>(w - side + 1)));
+
+    // Candidate: overwrite the square with fresh +/- eps per channel.
+    Tensor cand = res.adv;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float delta = static_cast<float>(rng.sign()) * eps;
+      for (std::int64_t yy = y0; yy < y0 + side; ++yy)
+        for (std::int64_t xx = x0; xx < x0 + side; ++xx)
+          cand.at(ch, yy, xx) = clamp01(x.at(ch, yy, xx) + delta);
+    }
+
+    Tensor cand_logits = model.logits(cand);
+    ++res.queries_used;
+    const float cand_margin = nn::margin(cand_logits, label);
+    if (cand_margin < best_margin) {
+      best_margin = cand_margin;
+      res.adv = std::move(cand);
+      if (best_margin < 0) {
+        res.success = true;
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace nvm::attack

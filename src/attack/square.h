@@ -1,0 +1,33 @@
+// Square Attack (Andriushchenko et al. 2020, paper ref [31]): a
+// query-efficient, gradient-free black-box attack via random search.
+//
+// Each query proposes flipping a random square patch of the perturbation
+// to per-channel +/- epsilon stripes and keeps the proposal iff it lowers
+// the margin loss. Because it never touches gradients, its success against
+// the crossbar hardware isolates the "modified inference" component of the
+// intrinsic robustness (paper §IV-A-b).
+#pragma once
+
+#include "attack/attack_model.h"
+
+namespace nvm::attack {
+
+struct SquareOptions {
+  float epsilon = 4.0f / 255.0f;
+  std::int64_t max_queries = 1000;
+  /// Initial fraction of pixels covered by the square (paper's p_init).
+  float p_init = 0.8f;
+  std::uint64_t seed = 9;
+};
+
+struct SquareResult {
+  Tensor adv;
+  std::int64_t queries_used = 0;
+  bool success = false;  ///< misclassified at the end
+};
+
+/// Runs the l_inf Square Attack against `model`'s logits.
+SquareResult square_attack(AttackModel& model, const Tensor& x,
+                           std::int64_t label, const SquareOptions& opt);
+
+}  // namespace nvm::attack

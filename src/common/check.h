@@ -1,0 +1,48 @@
+// Lightweight runtime-check macros used across the library.
+//
+// All checks throw nvm::CheckError (derived from std::logic_error) rather
+// than aborting, so tests can assert on violation and callers can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nvm {
+
+/// Error thrown when an NVM_CHECK-style precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace nvm
+
+/// Always-on invariant check. `NVM_CHECK(cond)` or
+/// `NVM_CHECK(cond, "context " << value)`.
+#define NVM_CHECK(cond, ...)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream nvm_check_os_;                                    \
+      (void)(nvm_check_os_ __VA_OPT__(<< __VA_ARGS__));                    \
+      ::nvm::detail::check_failed(#cond, __FILE__, __LINE__,               \
+                                  nvm_check_os_.str());                    \
+    }                                                                      \
+  } while (false)
+
+/// Check for indexing: `NVM_CHECK_LT(i, n)`.
+#define NVM_CHECK_LT(a, b) NVM_CHECK((a) < (b), #a "=" << (a) << " " #b "=" << (b))
+#define NVM_CHECK_LE(a, b) NVM_CHECK((a) <= (b), #a "=" << (a) << " " #b "=" << (b))
+#define NVM_CHECK_EQ(a, b) NVM_CHECK((a) == (b), #a "=" << (a) << " " #b "=" << (b))
+#define NVM_CHECK_GT(a, b) NVM_CHECK((a) > (b), #a "=" << (a) << " " #b "=" << (b))
+#define NVM_CHECK_GE(a, b) NVM_CHECK((a) >= (b), #a "=" << (a) << " " #b "=" << (b))

@@ -1,0 +1,25 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace nvm {
+
+bool full_scale() {
+  const char* env = std::getenv("REPRO_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+std::int64_t scaled(std::int64_t quick, std::int64_t full) {
+  return full_scale() ? full : quick;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* env = std::getenv(name.c_str());
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace nvm

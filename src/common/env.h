@@ -1,0 +1,22 @@
+// Environment-driven experiment scaling.
+//
+// The benchmark harnesses default to reduced sample counts so the full
+// suite completes on a single core; setting REPRO_FULL=1 restores
+// paper-scale counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nvm {
+
+/// True when REPRO_FULL=1 (paper-scale experiment sizes).
+bool full_scale();
+
+/// Returns `quick` normally, `full` when REPRO_FULL=1.
+std::int64_t scaled(std::int64_t quick, std::int64_t full);
+
+/// Reads an integer env override, falling back to `fallback`.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+}  // namespace nvm

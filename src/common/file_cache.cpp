@@ -1,0 +1,62 @@
+#include "common/file_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace nvm {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x4e564d43;  // "NVMC"
+}
+
+std::string cache_dir() {
+  const char* env = std::getenv("NVMROBUST_CACHE_DIR");
+  std::string dir = (env != nullptr && *env != '\0') ? env : "repro_cache";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+bool cache_load(const std::string& name, const std::string& tag,
+                const std::function<void(BinaryReader&)>& load) {
+  const std::string path = cache_dir() + "/" + name;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  try {
+    BinaryReader r(is);
+    if (r.read_u32() != kMagic) return false;
+    if (r.read_string() != tag) {
+      NVM_LOG(Info) << "cache entry " << name << " stale (tag mismatch)";
+      return false;
+    }
+    load(r);
+    return true;
+  } catch (const CheckError&) {
+    NVM_LOG(Warn) << "cache entry " << name << " corrupt; recomputing";
+    return false;
+  }
+}
+
+void cache_store(const std::string& name, const std::string& tag,
+                 const std::function<void(BinaryWriter&)>& save) {
+  const std::string path = cache_dir() + "/" + name;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    NVM_CHECK(static_cast<bool>(os), "cannot open cache file " << tmp);
+    BinaryWriter w(os);
+    w.write_u32(kMagic);
+    w.write_string(tag);
+    save(w);
+    NVM_CHECK(w.ok(), "cache write failed for " << tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) NVM_LOG(Warn) << "cache rename failed: " << ec.message();
+}
+
+}  // namespace nvm

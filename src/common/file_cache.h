@@ -1,0 +1,43 @@
+// On-disk cache for expensive artifacts (trained networks, GENIEx surrogate
+// weights). Entries live under a cache directory (default ./repro_cache,
+// overridable via the NVMROBUST_CACHE_DIR env var) and are keyed by a
+// caller-chosen name plus a content tag; a tag mismatch invalidates the
+// entry so stale caches never poison an experiment.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "common/serialize.h"
+
+namespace nvm {
+
+/// Resolves the cache directory, creating it if needed.
+std::string cache_dir();
+
+/// Loads cache entry `name` if present and its stored tag equals `tag`.
+/// `load` reads the payload; returns false if the entry is missing/stale.
+bool cache_load(const std::string& name, const std::string& tag,
+                const std::function<void(BinaryReader&)>& load);
+
+/// Stores cache entry `name` with `tag`; `save` writes the payload.
+void cache_store(const std::string& name, const std::string& tag,
+                 const std::function<void(BinaryWriter&)>& save);
+
+/// Convenience: load-or-compute. `compute` runs only on cache miss and its
+/// result is persisted via `save`.
+template <typename T>
+T cache_get_or_compute(const std::string& name, const std::string& tag,
+                       const std::function<T(BinaryReader&)>& load,
+                       const std::function<T()>& compute,
+                       const std::function<void(BinaryWriter&, const T&)>& save) {
+  std::optional<T> out;
+  cache_load(name, tag, [&](BinaryReader& r) { out = load(r); });
+  if (out.has_value()) return std::move(*out);
+  T value = compute();
+  cache_store(name, tag, [&](BinaryWriter& w) { save(w, value); });
+  return value;
+}
+
+}  // namespace nvm

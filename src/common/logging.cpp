@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace nvm {
+
+namespace {
+
+LogLevel g_level = [] {
+  const char* env = std::getenv("NVMROBUST_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  return LogLevel::Warn;
+}();
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "E";
+    case LogLevel::Warn: return "W";
+    case LogLevel::Info: return "I";
+    case LogLevel::Debug: return "D";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level <= g_level) {
+  if (enabled_) {
+    const char* base = std::strrchr(file, '/');
+    stream_ << "[" << level_name(level) << " "
+            << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::cerr << stream_.str() << "\n";
+}
+
+}  // namespace detail
+}  // namespace nvm

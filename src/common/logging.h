@@ -1,0 +1,46 @@
+// Minimal leveled logger writing to stderr.
+//
+// Usage: NVM_LOG(Info) << "trained " << n << " epochs";
+// The global threshold is controlled by set_log_level() or the
+// NVMROBUST_LOG env var (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nvm {
+
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Sets the global log threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current global threshold (initialized from NVMROBUST_LOG on first use).
+LogLevel log_level();
+
+namespace detail {
+
+/// Accumulates one log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace nvm
+
+#define NVM_LOG(severity)                                            \
+  ::nvm::detail::LogMessage(::nvm::LogLevel::severity, __FILE__, __LINE__)

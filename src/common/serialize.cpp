@@ -1,0 +1,87 @@
+#include "common/serialize.h"
+
+#include "common/check.h"
+
+namespace nvm {
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinaryWriter::write_u64(std::uint64_t v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinaryWriter::write_i64(std::int64_t v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinaryWriter::write_f32(float v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinaryWriter::write_f64(double v) {
+  os_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  os_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void BinaryWriter::write_f32_vec(const std::vector<float>& v) {
+  write_u64(v.size());
+  os_.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+void BinaryWriter::write_i64_vec(const std::vector<std::int64_t>& v) {
+  write_u64(v.size());
+  os_.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(std::int64_t)));
+}
+
+void BinaryReader::read_raw(void* dst, std::size_t n) {
+  is_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  NVM_CHECK(static_cast<std::size_t>(is_.gcount()) == n,
+            "truncated binary stream");
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::int64_t BinaryReader::read_i64() {
+  std::int64_t v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+float BinaryReader::read_f32() {
+  float v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+double BinaryReader::read_f64() {
+  double v;
+  read_raw(&v, sizeof v);
+  return v;
+}
+std::string BinaryReader::read_string() {
+  const auto n = read_u64();
+  std::string s(n, '\0');
+  if (n > 0) read_raw(s.data(), n);
+  return s;
+}
+std::vector<float> BinaryReader::read_f32_vec() {
+  const auto n = read_u64();
+  std::vector<float> v(n);
+  if (n > 0) read_raw(v.data(), n * sizeof(float));
+  return v;
+}
+std::vector<std::int64_t> BinaryReader::read_i64_vec() {
+  const auto n = read_u64();
+  std::vector<std::int64_t> v(n);
+  if (n > 0) read_raw(v.data(), n * sizeof(std::int64_t));
+  return v;
+}
+
+}  // namespace nvm

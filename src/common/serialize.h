@@ -1,0 +1,53 @@
+// Tiny binary serialization helpers for caching trained models and
+// surrogate weights. Little-endian, no versioning beyond a caller-supplied
+// magic tag — these files are local caches, not an interchange format.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nvm {
+
+/// Streaming binary writer.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i64(std::int64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_vec(const std::vector<float>& v);
+  void write_i64_vec(const std::vector<std::int64_t>& v);
+
+  bool ok() const { return static_cast<bool>(os_); }
+
+ private:
+  std::ostream& os_;
+};
+
+/// Streaming binary reader; throws nvm::CheckError on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is) : is_(is) {}
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int64_t read_i64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_vec();
+  std::vector<std::int64_t> read_i64_vec();
+
+ private:
+  void read_raw(void* dst, std::size_t n);
+  std::istream& is_;
+};
+
+}  // namespace nvm

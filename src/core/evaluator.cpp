@@ -1,0 +1,53 @@
+#include "core/evaluator.h"
+
+#include "common/check.h"
+
+namespace nvm::core {
+
+ForwardFn plain_forward(nn::Network& net) {
+  return [&net](const Tensor& x) { return net.forward(x, nn::Mode::Eval); };
+}
+
+float accuracy(const ForwardFn& fn, std::span<const Tensor> images,
+               std::span<const std::int64_t> labels) {
+  NVM_CHECK_EQ(images.size(), labels.size());
+  NVM_CHECK_GT(images.size(), 0u);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < images.size(); ++i)
+    if (fn(images[i]).argmax() == labels[i]) ++correct;
+  return 100.0f * static_cast<float>(correct) /
+         static_cast<float>(images.size());
+}
+
+std::vector<Tensor> craft_pgd(attack::AttackModel& attacker,
+                              std::span<const Tensor> images,
+                              std::span<const std::int64_t> labels,
+                              const attack::PgdOptions& opt) {
+  NVM_CHECK_EQ(images.size(), labels.size());
+  std::vector<Tensor> out;
+  out.reserve(images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    attack::PgdOptions per = opt;
+    per.seed = opt.seed + i;  // independent random starts per image
+    out.push_back(attack::pgd_attack(attacker, images[i], labels[i], per));
+  }
+  return out;
+}
+
+std::vector<Tensor> craft_square(attack::AttackModel& attacker,
+                                 std::span<const Tensor> images,
+                                 std::span<const std::int64_t> labels,
+                                 const attack::SquareOptions& opt) {
+  NVM_CHECK_EQ(images.size(), labels.size());
+  std::vector<Tensor> out;
+  out.reserve(images.size());
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    attack::SquareOptions per = opt;
+    per.seed = opt.seed + i;
+    out.push_back(
+        attack::square_attack(attacker, images[i], labels[i], per).adv);
+  }
+  return out;
+}
+
+}  // namespace nvm::core

@@ -1,0 +1,37 @@
+// Accuracy evaluation over (possibly defended, possibly crossbar-deployed)
+// forward functions, and batch adversarial-set generation.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "attack/pgd.h"
+#include "attack/square.h"
+#include "nn/network.h"
+
+namespace nvm::core {
+
+/// Image -> logits. Wraps whatever stack is under evaluation.
+using ForwardFn = std::function<Tensor(const Tensor&)>;
+
+/// Plain Eval-mode forward of a network (with its current engines/hooks).
+ForwardFn plain_forward(nn::Network& net);
+
+/// Top-1 accuracy (%) of `fn` over an image set.
+float accuracy(const ForwardFn& fn, std::span<const Tensor> images,
+               std::span<const std::int64_t> labels);
+
+/// Crafts one PGD adversarial image per input using `attacker`'s view.
+std::vector<Tensor> craft_pgd(attack::AttackModel& attacker,
+                              std::span<const Tensor> images,
+                              std::span<const std::int64_t> labels,
+                              const attack::PgdOptions& opt);
+
+/// Crafts one Square-Attack adversarial image per input.
+std::vector<Tensor> craft_square(attack::AttackModel& attacker,
+                                 std::span<const Tensor> images,
+                                 std::span<const std::int64_t> labels,
+                                 const attack::SquareOptions& opt);
+
+}  // namespace nvm::core

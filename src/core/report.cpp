@@ -1,0 +1,66 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.h"
+
+namespace nvm::core {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  NVM_CHECK(!header_.empty());
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  NVM_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::cout << "\n== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::cout << (c == 0 ? "" : " | ");
+      std::cout << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad)
+        std::cout << ' ';
+    }
+    std::cout << "\n";
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 3;
+  std::cout << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+std::string fmt(float value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", static_cast<double>(value));
+  return buf;
+}
+
+std::string with_delta(float value, float baseline) {
+  char buf[64];
+  const float d = value - baseline;
+  std::snprintf(buf, sizeof buf, "%.2f (%+.2f)", static_cast<double>(value),
+                static_cast<double>(d));
+  return buf;
+}
+
+void print_series(const std::string& name, const std::vector<float>& values) {
+  std::cout << name;
+  for (float v : values) std::cout << ", " << fmt(v);
+  std::cout << "\n";
+  std::cout.flush();
+}
+
+}  // namespace nvm::core

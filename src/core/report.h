@@ -1,0 +1,35 @@
+// Text report helpers shared by the benchmark harnesses: aligned tables in
+// the style of the paper's Tables III/IV, and figure series as
+// comma-separated rows suitable for replotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nvm::core {
+
+/// Accumulates a table and prints it with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Prints to stdout with a title banner.
+  void print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "54.98 (+35.34)" — value with delta vs baseline, paper style.
+std::string with_delta(float value, float baseline);
+
+/// Fixed two-decimal formatting.
+std::string fmt(float value);
+
+/// Prints one figure series: "series_name, p1, p2, ..." after an x-axis
+/// header line. Collect multiple calls under one banner for replotting.
+void print_series(const std::string& name, const std::vector<float>& values);
+
+}  // namespace nvm::core

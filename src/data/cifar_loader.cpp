@@ -1,0 +1,64 @@
+#include "data/cifar_loader.h"
+
+#include <fstream>
+
+#include "common/check.h"
+
+namespace nvm::data {
+
+namespace {
+constexpr std::int64_t kImageBytes = 3 * 32 * 32;
+}
+
+CifarBatch load_cifar(std::istream& in, CifarFormat format,
+                      std::int64_t max_records) {
+  CifarBatch batch;
+  const int label_bytes = (format == CifarFormat::kCifar10) ? 1 : 2;
+  std::vector<unsigned char> record(
+      static_cast<std::size_t>(label_bytes + kImageBytes));
+
+  while (max_records < 0 ||
+         static_cast<std::int64_t>(batch.images.size()) < max_records) {
+    in.read(reinterpret_cast<char*>(record.data()),
+            static_cast<std::streamsize>(record.size()));
+    if (in.gcount() == 0 && in.eof()) break;  // clean end of file
+    NVM_CHECK(static_cast<std::size_t>(in.gcount()) == record.size(),
+              "truncated CIFAR record at index " << batch.images.size());
+
+    std::int64_t label;
+    switch (format) {
+      case CifarFormat::kCifar10:
+        label = record[0];
+        break;
+      case CifarFormat::kCifar100Coarse:
+        label = record[0];
+        break;
+      default:  // kCifar100Fine
+        label = record[1];
+        break;
+    }
+    const std::int64_t max_label =
+        format == CifarFormat::kCifar100Fine
+            ? 99
+            : (format == CifarFormat::kCifar100Coarse ? 19 : 9);
+    NVM_CHECK(label <= max_label, "CIFAR label out of range: " << label);
+
+    Tensor img({3, 32, 32});
+    float* dst = img.raw();
+    const unsigned char* src = record.data() + label_bytes;
+    for (std::int64_t i = 0; i < kImageBytes; ++i)
+      dst[i] = static_cast<float>(src[i]) / 255.0f;
+    batch.images.push_back(std::move(img));
+    batch.labels.push_back(label);
+  }
+  return batch;
+}
+
+CifarBatch load_cifar_file(const std::string& path, CifarFormat format,
+                           std::int64_t max_records) {
+  std::ifstream in(path, std::ios::binary);
+  NVM_CHECK(static_cast<bool>(in), "cannot open CIFAR file " << path);
+  return load_cifar(in, format, max_records);
+}
+
+}  // namespace nvm::data

@@ -1,0 +1,44 @@
+// Loader for the standard CIFAR-10 / CIFAR-100 binary format.
+//
+// The experiments in this repo run on synthetic stand-ins (no dataset
+// files ship offline), but the pipeline is dataset-agnostic: anyone with
+// the real `cifar-10-batches-bin` / `cifar-100-binary` files can load them
+// here and pass the images straight to the trainer, the crossbar
+// deployment, and the attacks.
+//
+// Format (per record, no headers):
+//   CIFAR-10 : 1 label byte + 3072 pixel bytes (R plane, G plane, B plane)
+//   CIFAR-100: 1 coarse label byte + 1 fine label byte + 3072 pixel bytes
+// Pixels are row-major 32x32 per channel; bytes map to floats in [0, 1].
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nvm::data {
+
+struct CifarBatch {
+  std::vector<Tensor> images;  ///< (3, 32, 32) floats in [0, 1]
+  std::vector<std::int64_t> labels;
+};
+
+enum class CifarFormat {
+  kCifar10,        ///< 1 label byte per record
+  kCifar100Fine,   ///< 2 label bytes; keep the fine (100-class) label
+  kCifar100Coarse  ///< 2 label bytes; keep the coarse (20-class) label
+};
+
+/// Parses CIFAR binary records from a stream until EOF (or `max_records`).
+/// Throws nvm::CheckError on a truncated record.
+CifarBatch load_cifar(std::istream& in, CifarFormat format,
+                      std::int64_t max_records = -1);
+
+/// Convenience: loads a file by path. Throws on open failure.
+CifarBatch load_cifar_file(const std::string& path, CifarFormat format,
+                           std::int64_t max_records = -1);
+
+}  // namespace nvm::data

@@ -1,0 +1,73 @@
+#include "defense/defenses.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace nvm::defense {
+
+Tensor reduce_bit_width(const Tensor& image, std::int64_t bits) {
+  NVM_CHECK(bits >= 1 && bits <= 8, "bits=" << bits);
+  const float levels = static_cast<float>((std::int64_t{1} << bits) - 1);
+  Tensor out(image.shape());
+  auto src = image.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float clamped = std::clamp(src[i], 0.0f, 1.0f);
+    dst[i] = std::round(clamped * levels) / levels;
+  }
+  return out;
+}
+
+Tensor sap_prune(const Tensor& activations, float sample_ratio, Rng& rng) {
+  NVM_CHECK_GT(sample_ratio, 0.0f);
+  const std::int64_t n = activations.numel();
+  // Probability of each activation per draw, proportional to |a|.
+  double total = 0.0;
+  for (float v : activations.data()) total += std::abs(v);
+  if (total <= 0.0) return activations;
+
+  const auto k = static_cast<double>(
+      std::llround(sample_ratio * static_cast<float>(n)));
+  Tensor out(activations.shape());
+  auto src = activations.data();
+  auto dst = out.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double p = std::abs(src[i]) / total;
+    // Probability the activation is picked at least once in k draws.
+    const double keep_p = 1.0 - std::pow(1.0 - p, k);
+    if (keep_p > 0.0 && rng.bernoulli(keep_p)) {
+      // Inverse propensity rescaling keeps the layer output unbiased.
+      dst[i] = src[i] / static_cast<float>(keep_p);
+    } else {
+      dst[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<Rng> attach_sap(nn::Network& net, const SapOptions& opt) {
+  auto rng = std::make_shared<Rng>(opt.seed);
+  const float ratio = opt.sample_ratio;
+  net.set_conv_eval_hooks([rng, ratio](const Tensor& y) {
+    return sap_prune(y, ratio, *rng);
+  });
+  return rng;
+}
+
+Tensor random_resize_pad(const Tensor& image, const RandomPadOptions& opt,
+                         Rng& rng) {
+  NVM_CHECK_EQ(image.rank(), 3u);
+  NVM_CHECK(opt.resize_lo <= opt.resize_hi && opt.resize_hi <= opt.canvas,
+            "invalid resize/canvas configuration");
+  const std::int64_t target =
+      rng.uniform_int(opt.resize_lo, opt.resize_hi);
+  Tensor resized = resize_nearest(image, target, target);
+  const std::int64_t slack = opt.canvas - target;
+  const std::int64_t top = slack > 0 ? rng.uniform_int(0, slack) : 0;
+  const std::int64_t left = slack > 0 ? rng.uniform_int(0, slack) : 0;
+  return pad_image(resized, top, left, opt.canvas, opt.canvas);
+}
+
+}  // namespace nvm::defense

@@ -1,0 +1,55 @@
+// The three comparison defenses from the paper (§III-C3), all applicable
+// to a pretrained network without retraining:
+//   * Input Bit-Width Reduction [35] — quantize the input image to 4 bits;
+//   * Stochastic Activation Pruning (SAP) [20] — at inference, after every
+//     convolution, sample activations with probability proportional to
+//     their magnitude and rescale the survivors (an adaptive dropout);
+//   * Random Resize + Pad [25] — rescale the image to a random size with
+//     nearest-neighbour interpolation, then randomly zero-pad to a fixed
+//     canvas.
+// In the non-adaptive threat model these transformations are invisible to
+// the attacker: attacks are crafted against the undefended network and
+// evaluated against the defended one.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/network.h"
+
+namespace nvm::defense {
+
+/// Quantizes image pixels to 2^bits uniform levels in [0, 1].
+Tensor reduce_bit_width(const Tensor& image, std::int64_t bits = 4);
+
+struct SapOptions {
+  /// Number of with-replacement samples as a multiple of the activation
+  /// count (the paper's defense strength knob; 1.0 keeps roughly the
+  /// top-weighted 63% of mass).
+  float sample_ratio = 3.0f;
+  std::uint64_t seed = 13;
+};
+
+/// Attaches SAP as an Eval-mode hook after every convolution of `net`.
+/// The returned handle owns the sampler state; keep it alive while the
+/// defense is active. Call net.set_conv_eval_hooks(nullptr) to detach.
+std::shared_ptr<Rng> attach_sap(nn::Network& net, const SapOptions& opt);
+
+/// Applies SAP to a single activation tensor (exposed for tests).
+Tensor sap_prune(const Tensor& activations, float sample_ratio, Rng& rng);
+
+struct RandomPadOptions {
+  std::int64_t resize_lo = 25;  ///< inclusive random resize range
+  std::int64_t resize_hi = 29;
+  std::int64_t canvas = 30;     ///< final padded size
+  std::uint64_t seed = 17;
+};
+
+/// Random resize + random pad preprocessing; returns the transformed image
+/// (3, canvas, canvas). Requires a network tolerant to input size (the
+/// ResNets here end in global average pooling, as in the paper).
+Tensor random_resize_pad(const Tensor& image, const RandomPadOptions& opt,
+                         Rng& rng);
+
+}  // namespace nvm::defense

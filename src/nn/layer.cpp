@@ -1,0 +1,22 @@
+#include "nn/layer.h"
+
+namespace nvm::nn {
+
+std::vector<Param*> collect_params(Layer& root) {
+  std::vector<Param*> out;
+  visit_layers(root, [&](Layer& l) {
+    for (Param* p : l.params()) out.push_back(p);
+  });
+  return out;
+}
+
+void visit_layers(Layer& root, const std::function<void(Layer&)>& fn) {
+  fn(root);
+  for (Layer* child : root.children()) visit_layers(*child, fn);
+}
+
+void zero_grads(Layer& root) {
+  for (Param* p : collect_params(root)) p->grad.fill(0.0f);
+}
+
+}  // namespace nvm::nn

@@ -1,0 +1,54 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nvm::nn {
+
+Tensor softmax(const Tensor& logits) {
+  NVM_CHECK_EQ(logits.rank(), 1u);
+  Tensor p(logits.shape());
+  const float m = logits.max();
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    p[i] = std::exp(logits[i] - m);
+    sum += p[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (std::int64_t i = 0; i < p.numel(); ++i) p[i] *= inv;
+  return p;
+}
+
+LossGrad cross_entropy(const Tensor& logits, std::int64_t label) {
+  NVM_CHECK(label >= 0 && label < logits.numel(), "label=" << label);
+  LossGrad out;
+  out.grad_logits = softmax(logits);
+  out.loss = -std::log(std::max(out.grad_logits[label], 1e-12f));
+  out.grad_logits[label] -= 1.0f;
+  return out;
+}
+
+LossGrad cross_entropy_soft(const Tensor& logits, const Tensor& targets) {
+  NVM_CHECK(logits.same_shape(targets));
+  LossGrad out;
+  Tensor p = softmax(logits);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < logits.numel(); ++i)
+    loss -= targets[i] * std::log(std::max(p[i], 1e-12f));
+  out.loss = static_cast<float>(loss);
+  out.grad_logits = p;
+  out.grad_logits -= targets;
+  return out;
+}
+
+float margin(const Tensor& logits, std::int64_t label) {
+  NVM_CHECK(label >= 0 && label < logits.numel(), "label=" << label);
+  float best_other = -std::numeric_limits<float>::infinity();
+  for (std::int64_t i = 0; i < logits.numel(); ++i)
+    if (i != label) best_other = std::max(best_other, logits[i]);
+  return logits[label] - best_other;
+}
+
+}  // namespace nvm::nn

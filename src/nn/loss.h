@@ -1,0 +1,29 @@
+// Softmax cross-entropy loss and helpers.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace nvm::nn {
+
+/// Numerically-stable softmax of a 1-d logits vector.
+Tensor softmax(const Tensor& logits);
+
+struct LossGrad {
+  float loss = 0.0f;
+  Tensor grad_logits;  // d(loss)/d(logits)
+};
+
+/// Cross-entropy of softmax(logits) against integer label.
+LossGrad cross_entropy(const Tensor& logits, std::int64_t label);
+
+/// Soft-target cross-entropy (distillation): targets is a probability
+/// vector of the same length as logits.
+LossGrad cross_entropy_soft(const Tensor& logits, const Tensor& targets);
+
+/// Margin loss used by Square Attack: logit[y] - max_{k!=y} logit[k].
+/// Negative means misclassified.
+float margin(const Tensor& logits, std::int64_t label);
+
+}  // namespace nvm::nn

@@ -1,0 +1,42 @@
+// Matrix-vector-multiply engine abstraction.
+//
+// Conv2d and Linear route their forward GEMM through an MvmEngine. The
+// default engine is exact float arithmetic ("accurate digital hardware" in
+// the paper). Deploying a network onto NVM crossbars swaps in a
+// puma::CrossbarMvmEngine per layer, which quantizes + tiles + bit-slices
+// the weight matrix onto crossbar conductances and evaluates every MVM
+// through a (non-ideal) crossbar model. Backward passes never touch the
+// engine — gradients are always the ideal derivative, as in the paper.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace nvm::nn {
+
+class MvmEngine {
+ public:
+  virtual ~MvmEngine() = default;
+
+  /// Computes W(MxK) * X(KxN) where W is the layer's float weight matrix
+  /// and X packs N input vectors (im2col columns / a single linear input).
+  /// Implementations may quantize, tile and perturb the computation; they
+  /// must not mutate W or X.
+  virtual Tensor matmul(const Tensor& w, const Tensor& x) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Exact float GEMM — the "accurate digital" baseline.
+class IdealMvmEngine final : public MvmEngine {
+ public:
+  Tensor matmul(const Tensor& w, const Tensor& x) override;
+  std::string name() const override { return "ideal"; }
+};
+
+/// Shared default instance (stateless).
+std::shared_ptr<MvmEngine> ideal_engine();
+
+}  // namespace nvm::nn

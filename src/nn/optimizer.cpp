@@ -1,0 +1,35 @@
+#include "nn/optimizer.h"
+
+#include "common/check.h"
+
+namespace nvm::nn {
+
+Sgd::Sgd(std::vector<Param*> params, SgdConfig config)
+    : params_(std::move(params)), config_(config) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) {
+    NVM_CHECK(p != nullptr);
+    velocity_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void Sgd::step(float scale) {
+  NVM_CHECK_GT(scale, 0.0f);
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    const float wd = p.decay ? config_.weight_decay : 0.0f;
+    auto pv = p.value.data();
+    auto pg = p.grad.data();
+    auto vel = v.data();
+    for (std::size_t j = 0; j < pv.size(); ++j) {
+      const float g = pg[j] * inv + wd * pv[j];
+      vel[j] = config_.momentum * vel[j] + g;
+      pv[j] -= config_.lr * vel[j];
+    }
+    p.grad.fill(0.0f);
+  }
+}
+
+}  // namespace nvm::nn

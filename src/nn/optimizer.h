@@ -1,0 +1,33 @@
+// SGD with momentum and decoupled weight decay.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace nvm::nn {
+
+struct SgdConfig {
+  float lr = 0.1f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+};
+
+class Sgd {
+ public:
+  Sgd(std::vector<Param*> params, SgdConfig config);
+
+  /// Applies one update from the accumulated grads, then zeroes them.
+  /// `scale` divides the gradient (use 1/batch for mean-of-sum grads).
+  void step(float scale = 1.0f);
+
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  SgdConfig config_;
+};
+
+}  // namespace nvm::nn

@@ -1,0 +1,60 @@
+#include "nn/resnet.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/pool.h"
+
+namespace nvm::nn {
+
+Network make_resnet_cifar(const ResnetCifarSpec& spec, Rng& rng) {
+  NVM_CHECK_GT(spec.blocks_per_stage, 0);
+  auto root = std::make_unique<Sequential>();
+  root->emplace<Conv2d>(3, spec.widths[0], 3, 1, 1, rng);
+  root->emplace<BatchNorm2d>(spec.widths[0]);
+  root->emplace<ReLU>();
+  std::int64_t in_c = spec.widths[0];
+  for (int stage = 0; stage < 3; ++stage) {
+    const std::int64_t out_c = spec.widths[static_cast<std::size_t>(stage)];
+    for (std::int64_t b = 0; b < spec.blocks_per_stage; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      root->emplace<ResidualBlock>(in_c, out_c, stride, rng);
+      in_c = out_c;
+    }
+  }
+  root->emplace<GlobalAvgPool>();
+  root->emplace<Linear>(in_c, spec.num_classes, rng);
+
+  std::ostringstream arch;
+  arch << "resnet" << (6 * spec.blocks_per_stage + 2) << "_w"
+       << spec.widths[0] << "-" << spec.widths[1] << "-" << spec.widths[2]
+       << "_c" << spec.num_classes;
+  return Network(arch.str(), std::move(root), spec.num_classes);
+}
+
+Network make_resnet18(const Resnet18Spec& spec, Rng& rng) {
+  auto root = std::make_unique<Sequential>();
+  root->emplace<Conv2d>(3, spec.widths[0], 3, 1, 1, rng);
+  root->emplace<BatchNorm2d>(spec.widths[0]);
+  root->emplace<ReLU>();
+  std::int64_t in_c = spec.widths[0];
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t out_c = spec.widths[static_cast<std::size_t>(stage)];
+    for (std::int64_t b = 0; b < 2; ++b) {
+      const std::int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      root->emplace<ResidualBlock>(in_c, out_c, stride, rng);
+      in_c = out_c;
+    }
+  }
+  root->emplace<GlobalAvgPool>();
+  root->emplace<Linear>(in_c, spec.num_classes, rng);
+
+  std::ostringstream arch;
+  arch << "resnet18_w" << spec.widths[0] << "-" << spec.widths[1] << "-"
+       << spec.widths[2] << "-" << spec.widths[3] << "_c" << spec.num_classes;
+  return Network(arch.str(), std::move(root), spec.num_classes);
+}
+
+}  // namespace nvm::nn

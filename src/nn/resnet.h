@@ -1,0 +1,36 @@
+// ResNet builders.
+//
+// These mirror the paper's three target networks at reduced width so they
+// train in seconds on one core:
+//   - resnet20 / resnet32 (CIFAR-style, He et al. §4.2): 3x3 stem, three
+//     stages of n basic blocks, global average pool, linear head.
+//     Paper widths are 16/32/64; we default to 8/16/32.
+//   - resnet18 (ImageNet-style): 3x3 stem (no 7x7 downsample at our small
+//     resolution), four stages of two basic blocks.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "nn/network.h"
+
+namespace nvm::nn {
+
+struct ResnetCifarSpec {
+  std::int64_t blocks_per_stage = 3;  // 3 -> ResNet-20, 5 -> ResNet-32
+  std::array<std::int64_t, 3> widths = {8, 16, 32};
+  std::int64_t num_classes = 10;
+};
+
+/// CIFAR-style ResNet (depth = 6n+2).
+Network make_resnet_cifar(const ResnetCifarSpec& spec, Rng& rng);
+
+struct Resnet18Spec {
+  std::array<std::int64_t, 4> widths = {8, 16, 32, 64};
+  std::int64_t num_classes = 16;
+};
+
+/// ImageNet-style ResNet-18 (2-2-2-2 basic blocks).
+Network make_resnet18(const Resnet18Spec& spec, Rng& rng);
+
+}  // namespace nvm::nn

@@ -1,0 +1,73 @@
+#include "nn/trainer.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "nn/loss.h"
+
+namespace nvm::nn {
+
+TrainStats train(Network& net, std::span<const Tensor> images,
+                 std::span<const std::int64_t> labels,
+                 const TrainConfig& config) {
+  NVM_CHECK_EQ(images.size(), labels.size());
+  NVM_CHECK_GT(images.size(), 0u);
+  Rng rng(config.seed);
+  Sgd opt(net.params(), config.sgd);
+
+  const std::int64_t n = static_cast<std::int64_t>(images.size());
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainStats stats;
+  const auto freeze_epoch = static_cast<std::int64_t>(
+      config.bn_freeze_frac * static_cast<float>(config.epochs));
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    // Step-decay schedule at 50% and 75% of training.
+    if (epoch == config.epochs / 2 || epoch == (3 * config.epochs) / 4)
+      opt.set_lr(opt.lr() * config.lr_decay);
+    if (epoch == freeze_epoch && epoch < config.epochs) net.freeze_batchnorm();
+
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    std::int64_t correct = 0;
+    std::int64_t in_batch = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t idx = order[static_cast<std::size_t>(i)];
+      const Tensor& x = images[static_cast<std::size_t>(idx)];
+      const std::int64_t y = labels[static_cast<std::size_t>(idx)];
+      Tensor logits = net.forward(x, Mode::Train);
+      LossGrad lg = cross_entropy(logits, y);
+      loss_sum += lg.loss;
+      if (logits.argmax() == y) ++correct;
+      net.backward(lg.grad_logits);
+      if (++in_batch == config.batch_size || i == n - 1) {
+        opt.step(static_cast<float>(in_batch));
+        in_batch = 0;
+      }
+    }
+    stats.final_train_loss = static_cast<float>(loss_sum / n);
+    stats.final_train_acc = 100.0f * static_cast<float>(correct) / n;
+    if (config.verbose) {
+      NVM_LOG(Info) << net.arch() << " epoch " << (epoch + 1) << "/"
+                    << config.epochs << " loss=" << stats.final_train_loss
+                    << " acc=" << stats.final_train_acc << "%";
+    }
+  }
+  return stats;
+}
+
+float evaluate_accuracy(Network& net, std::span<const Tensor> images,
+                        std::span<const std::int64_t> labels) {
+  NVM_CHECK_EQ(images.size(), labels.size());
+  NVM_CHECK_GT(images.size(), 0u);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    Tensor logits = net.forward(images[i], Mode::Eval);
+    if (logits.argmax() == labels[i]) ++correct;
+  }
+  return 100.0f * static_cast<float>(correct) / images.size();
+}
+
+}  // namespace nvm::nn

@@ -1,0 +1,39 @@
+// Minibatch SGD training loop and accuracy evaluation.
+#pragma once
+
+#include <span>
+
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace nvm::nn {
+
+struct TrainConfig {
+  std::int64_t epochs = 20;
+  std::int64_t batch_size = 32;
+  SgdConfig sgd;
+  /// Learning rate is multiplied by `lr_decay` at 50% and 75% of training.
+  float lr_decay = 0.1f;
+  /// Fraction of epochs after which BatchNorm statistics freeze and the
+  /// network fine-tunes against them (closes the train/eval-statistics
+  /// gap of per-example normalization). 1.0 disables freezing.
+  float bn_freeze_frac = 0.6f;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  float final_train_loss = 0.0f;
+  float final_train_acc = 0.0f;
+};
+
+/// Trains `net` on (images, labels); images are (C,H,W) tensors.
+TrainStats train(Network& net, std::span<const Tensor> images,
+                 std::span<const std::int64_t> labels,
+                 const TrainConfig& config);
+
+/// Top-1 accuracy (%) of `net` in Eval mode.
+float evaluate_accuracy(Network& net, std::span<const Tensor> images,
+                        std::span<const std::int64_t> labels);
+
+}  // namespace nvm::nn

@@ -1,0 +1,102 @@
+#include "puma/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace nvm::puma {
+
+namespace {
+
+/// Ideal engine that records every GEMM shape the network issues.
+class ShapeProbeEngine final : public nn::MvmEngine {
+ public:
+  explicit ShapeProbeEngine(std::vector<GemmShape>& sink) : sink_(&sink) {}
+
+  Tensor matmul(const Tensor& w, const Tensor& x) override {
+    sink_->push_back({w.dim(0), w.dim(1), x.dim(1)});
+    return nvm::matmul(w, x);
+  }
+  std::string name() const override { return "shape_probe"; }
+
+ private:
+  std::vector<GemmShape>* sink_;
+};
+
+LayerCost cost_of(const GemmShape& shape, const xbar::CrossbarConfig& cfg,
+                  const HwConfig& hw, const CostParams& p) {
+  LayerCost c;
+  c.shape = shape;
+  c.row_tiles = (shape.k + cfg.rows - 1) / cfg.rows;
+  c.col_tiles = (shape.m + cfg.cols - 1) / cfg.cols;
+  const std::int64_t per_tile_passes = 2 * hw.weight_slices() * hw.input_streams();
+  c.passes = c.row_tiles * c.col_tiles * per_tile_passes;
+  c.crossbar_reads = c.passes * shape.n;
+  // Average used extents across the tile grid.
+  const double rows_used =
+      static_cast<double>(shape.k) / static_cast<double>(c.row_tiles);
+  const double cols_used =
+      static_cast<double>(shape.m) / static_cast<double>(c.col_tiles);
+  c.dac_conversions = static_cast<std::int64_t>(
+      static_cast<double>(c.crossbar_reads) * rows_used);
+  c.adc_conversions = static_cast<std::int64_t>(
+      static_cast<double>(c.crossbar_reads) * cols_used);
+  c.utilization = (rows_used * cols_used) /
+                  (static_cast<double>(cfg.rows) * static_cast<double>(cfg.cols));
+
+  // Analog read energy: E = sum V_i^2 * G_ij * t over active cells.
+  const double g_avg = 0.5 * (cfg.g_on() + cfg.g_off());
+  const double v2_avg = p.input_activity * cfg.v_read * cfg.v_read;
+  const double e_read_j = rows_used * static_cast<double>(cfg.cols) * v2_avg *
+                          g_avg * (p.t_read_ns * 1e-9);
+  c.analog_energy_nj =
+      static_cast<double>(c.crossbar_reads) * e_read_j * 1e9;
+  c.peripheral_energy_nj =
+      (static_cast<double>(c.dac_conversions) * p.e_dac_pj +
+       static_cast<double>(c.adc_conversions) * p.e_adc_pj +
+       static_cast<double>(c.adc_conversions) * p.e_shift_add_pj) *
+      1e-3;
+
+  // Latency: tiles run in parallel across MVMUs (up to parallel_tiles);
+  // polarities/slices/streams are sequential on each tile; ADC is muxed
+  // over the used columns of a tile.
+  const double tile_groups =
+      std::ceil(static_cast<double>(c.row_tiles * c.col_tiles) /
+                static_cast<double>(std::max<std::int64_t>(1, p.parallel_tiles)));
+  const double pass_latency_ns = p.t_read_ns + cols_used * p.t_adc_ns;
+  c.latency_us = tile_groups * static_cast<double>(per_tile_passes) *
+                 static_cast<double>(shape.n) * pass_latency_ns * 1e-3;
+  return c;
+}
+
+}  // namespace
+
+CostReport estimate_cost(nn::Network& net, const Tensor& sample,
+                         const xbar::CrossbarConfig& cfg, const HwConfig& hw,
+                         const CostParams& params) {
+  std::vector<GemmShape> shapes;
+  net.set_mvm_engines([&](nn::Layer&) {
+    return std::make_shared<ShapeProbeEngine>(shapes);
+  });
+  (void)net.forward(sample, nn::Mode::Eval);
+  net.reset_mvm_engines();
+
+  CostReport report;
+  double util_sum = 0.0;
+  for (const GemmShape& shape : shapes) {
+    LayerCost c = cost_of(shape, cfg, hw, params);
+    report.total_energy_nj += c.analog_energy_nj + c.peripheral_energy_nj;
+    report.total_latency_us += c.latency_us;
+    report.total_crossbar_reads += c.crossbar_reads;
+    report.total_adc_conversions += c.adc_conversions;
+    util_sum += c.utilization;
+    report.layers.push_back(std::move(c));
+  }
+  if (!report.layers.empty())
+    report.mean_utilization = util_sum / static_cast<double>(report.layers.size());
+  return report;
+}
+
+}  // namespace nvm::puma

@@ -1,0 +1,76 @@
+// First-order energy / latency / utilization model of a crossbar
+// deployment (ISAAC / PUMA style accounting).
+//
+// The paper's motivation for NVM crossbars is efficiency; this model makes
+// the repo's deployments comparable on that axis. It is a *static*
+// analyzer: a probe forward pass records every GEMM the network issues,
+// and the mapping arithmetic of TiledMatrix (tiling, polarities, slices,
+// streams) converts each GEMM into counts of crossbar reads, DAC and ADC
+// conversions, and digital shift-add operations.
+//
+// Energy constants are first-order per-op values in the range published
+// for ISAAC/PUMA-class designs; the analog crossbar read energy is
+// derived from the configured physics (V^2 * G * t integrated over the
+// array at a configurable input activity). Absolute joules are
+// indicative; *ratios* between configurations are the useful output.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.h"
+#include "puma/tiled_mvm.h"
+
+namespace nvm::puma {
+
+struct CostParams {
+  double t_read_ns = 100.0;   ///< crossbar integration time per read
+  double t_adc_ns = 1.0;      ///< per conversion (1 GS/s ADC, muxed)
+  double e_adc_pj = 2.0;      ///< per conversion (~8-10 bit)
+  double e_dac_pj = 0.1;      ///< per row-driver conversion
+  double e_shift_add_pj = 0.05;  ///< digital accumulate per output element
+  /// Average input activity: fraction of full-scale voltage squared, used
+  /// for the analog read energy estimate (post-ReLU activations are
+  /// sparse and small).
+  double input_activity = 0.15;
+  /// Crossbar tiles operating in parallel (PUMA packs many MVMUs).
+  std::int64_t parallel_tiles = 8;
+};
+
+struct GemmShape {
+  std::int64_t m = 0, k = 0, n = 0;
+};
+
+struct LayerCost {
+  GemmShape shape;
+  std::int64_t row_tiles = 0, col_tiles = 0;
+  /// Crossbar passes per input vector (tiles x polarities x slices x
+  /// streams); zero-tile skipping is not assumed (upper bound).
+  std::int64_t passes = 0;
+  std::int64_t crossbar_reads = 0;   ///< passes x n
+  std::int64_t dac_conversions = 0;  ///< reads x rows_used
+  std::int64_t adc_conversions = 0;  ///< reads x cols_used
+  double analog_energy_nj = 0.0;
+  double peripheral_energy_nj = 0.0;
+  double latency_us = 0.0;
+  /// Fraction of programmed crossbar cells holding real weights.
+  double utilization = 0.0;
+};
+
+struct CostReport {
+  std::vector<LayerCost> layers;
+  double total_energy_nj = 0.0;
+  double total_latency_us = 0.0;
+  std::int64_t total_crossbar_reads = 0;
+  std::int64_t total_adc_conversions = 0;
+  double mean_utilization = 0.0;
+};
+
+/// Estimates the per-inference cost of deploying `net` on crossbars of
+/// `cfg` with mapping `hw`. Runs one probe forward pass on `sample` to
+/// discover the GEMM shapes; the network is left untouched (engines are
+/// restored).
+CostReport estimate_cost(nn::Network& net, const Tensor& sample,
+                         const xbar::CrossbarConfig& cfg, const HwConfig& hw,
+                         const CostParams& params = {});
+
+}  // namespace nvm::puma

@@ -1,0 +1,70 @@
+#include "puma/engine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace nvm::puma {
+
+CrossbarMvmEngine::CrossbarMvmEngine(
+    std::shared_ptr<const xbar::MvmModel> model, HwConfig hw,
+    float input_scale)
+    : model_(std::move(model)), hw_(hw), input_scale_(input_scale) {
+  NVM_CHECK(model_ != nullptr);
+}
+
+Tensor CrossbarMvmEngine::matmul(const Tensor& w, const Tensor& x) {
+  // Program on first use; detect accidental weight mutation afterwards.
+  const float checksum = w.sum();
+  if (tiled_ == nullptr || programmed_weights_ != w.raw()) {
+    tiled_ = std::make_unique<TiledMatrix>(w, model_, hw_);
+    programmed_weights_ = w.raw();
+    programmed_checksum_ = checksum;
+  } else {
+    NVM_CHECK(checksum == programmed_checksum_,
+              "weights changed after crossbar programming");
+  }
+  Tensor y = tiled_->matmul(x, input_scale_);
+  if (calibrating_) {
+    const Tensor ideal = nvm::matmul(w, x);
+    auto py = y.data();
+    auto pi = ideal.data();
+    for (std::size_t i = 0; i < py.size(); ++i) {
+      calib_num_ += static_cast<double>(pi[i]) * py[i];
+      calib_den_ += static_cast<double>(py[i]) * py[i];
+    }
+  } else if (output_gain_ != 1.0f) {
+    y *= output_gain_;
+  }
+  return y;
+}
+
+void CrossbarMvmEngine::begin_gain_calibration() {
+  calibrating_ = true;
+  calib_num_ = calib_den_ = 0.0;
+  output_gain_ = 1.0f;
+}
+
+void CrossbarMvmEngine::finish_gain_calibration() {
+  calibrating_ = false;
+  if (calib_den_ > 0.0) {
+    const double gain = calib_num_ / calib_den_;
+    output_gain_ = static_cast<float>(std::clamp(gain, 0.5, 2.0));
+  }
+}
+
+std::string CrossbarMvmEngine::name() const {
+  return "crossbar[" + model_->config().name + "/" + model_->name() + "]";
+}
+
+std::int64_t CrossbarMvmEngine::programmed_tiles() const {
+  return tiled_ != nullptr ? tiled_->programmed_tiles() : 0;
+}
+
+Tensor RecordingMvmEngine::matmul(const Tensor& w, const Tensor& x) {
+  max_input_ = std::max(max_input_, x.max());
+  return nvm::matmul(w, x);
+}
+
+}  // namespace nvm::puma

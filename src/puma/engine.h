@@ -1,0 +1,65 @@
+// Bridges the crossbar simulator into the nn:: layer stack.
+#pragma once
+
+#include <memory>
+
+#include "nn/mvm_engine.h"
+#include "puma/tiled_mvm.h"
+
+namespace nvm::puma {
+
+/// MvmEngine that evaluates a layer's GEMM on crossbar tiles. The weight
+/// matrix is programmed lazily on first use and reused afterwards; weights
+/// must not change after deployment (inference accelerator semantics — the
+/// paper's NVM hardware does not support training).
+class CrossbarMvmEngine final : public nn::MvmEngine {
+ public:
+  /// `input_scale` is the calibrated activation range for this layer;
+  /// pass <= 0 for dynamic per-call scaling.
+  CrossbarMvmEngine(std::shared_ptr<const xbar::MvmModel> model, HwConfig hw,
+                    float input_scale);
+
+  Tensor matmul(const Tensor& w, const Tensor& x) override;
+  std::string name() const override;
+
+  float input_scale() const { return input_scale_; }
+  /// Programmed tile count (0 before the first matmul).
+  std::int64_t programmed_tiles() const;
+
+  /// Gain calibration: systematic current loss (the NF mean) would act as
+  /// a fixed per-layer gain error, which any real deployment trims
+  /// digitally (the compensation literature the paper cites: refs [16],
+  /// [17], [36]). While calibrating, matmul() additionally computes the
+  /// ideal result and accumulates a least-squares gain fit; after
+  /// finish_gain_calibration() the fitted scalar multiplies every output.
+  /// The *data-dependent* deviation — the source of intrinsic robustness —
+  /// is untouched.
+  void begin_gain_calibration();
+  void finish_gain_calibration();
+  float output_gain() const { return output_gain_; }
+
+ private:
+  std::shared_ptr<const xbar::MvmModel> model_;
+  HwConfig hw_;
+  float input_scale_;
+  std::unique_ptr<TiledMatrix> tiled_;
+  const void* programmed_weights_ = nullptr;
+  float programmed_checksum_ = 0.0f;
+  bool calibrating_ = false;
+  double calib_num_ = 0.0, calib_den_ = 0.0;
+  float output_gain_ = 1.0f;
+};
+
+/// Ideal engine that records the maximum input activation it sees — used
+/// to calibrate per-layer DAC ranges before crossbar deployment.
+class RecordingMvmEngine final : public nn::MvmEngine {
+ public:
+  Tensor matmul(const Tensor& w, const Tensor& x) override;
+  std::string name() const override { return "recording"; }
+  float max_input() const { return max_input_; }
+
+ private:
+  float max_input_ = 0.0f;
+};
+
+}  // namespace nvm::puma

@@ -1,0 +1,99 @@
+#include "puma/hw_network.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace nvm::puma {
+
+namespace {
+
+/// Collects the BatchNorm layers of a network in visit order.
+std::vector<nn::BatchNorm2d*> batchnorms(nn::Network& net) {
+  std::vector<nn::BatchNorm2d*> out;
+  nn::visit_layers(net.root(), [&](nn::Layer& l) {
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&l)) out.push_back(bn);
+  });
+  return out;
+}
+
+}  // namespace
+
+HwDeployment::HwDeployment(nn::Network& net,
+                           std::shared_ptr<const xbar::MvmModel> model,
+                           std::span<const Tensor> calib_images,
+                           const HwConfig& hw)
+    : net_(net) {
+  NVM_CHECK(model != nullptr);
+
+  for (nn::BatchNorm2d* bn : batchnorms(net_))
+    saved_bn_.emplace_back(bn->running_mean(), bn->running_var());
+
+  // Pass 1: record per-layer activation ranges on ideal engines.
+  std::map<nn::Layer*, std::shared_ptr<RecordingMvmEngine>> recorders;
+  if (!calib_images.empty()) {
+    net_.set_mvm_engines([&](nn::Layer& l) {
+      auto rec = std::make_shared<RecordingMvmEngine>();
+      recorders[&l] = rec;
+      return rec;
+    });
+    for (const Tensor& img : calib_images)
+      (void)net_.forward(img, nn::Mode::Eval);
+  }
+
+  // Pass 2: install crossbar engines with the calibrated DAC ranges.
+  std::vector<std::shared_ptr<CrossbarMvmEngine>> engines;
+  net_.set_mvm_engines([&](nn::Layer& l) -> std::shared_ptr<nn::MvmEngine> {
+    float scale = 0.0f;  // dynamic fallback
+    if (auto it = recorders.find(&l); it != recorders.end())
+      scale = it->second->max_input();
+    ++stats_.mvm_layers;
+    stats_.input_scales.push_back(scale);
+    auto engine = std::make_shared<CrossbarMvmEngine>(model, hw, scale);
+    engines.push_back(engine);
+    return engine;
+  });
+
+  // Pass 3: precise-BN re-estimation against the non-ideal activations.
+  // Eval-mode forwards accumulate each BN's input statistics; two rounds
+  // let later layers see the effect of earlier layers' updated statistics.
+  if (hw.bn_reestimate && !calib_images.empty()) {
+    auto bns = batchnorms(net_);
+    for (int round = 0; round < 2; ++round) {
+      for (nn::BatchNorm2d* bn : bns) bn->begin_stat_collection();
+      for (const Tensor& img : calib_images)
+        (void)net_.forward(img, nn::Mode::Eval);
+      for (nn::BatchNorm2d* bn : bns) bn->finish_stat_collection();
+    }
+  }
+
+  // Pass 4: optional per-layer systematic-gain trim.
+  if (hw.gain_trim && !calib_images.empty()) {
+    for (auto& e : engines) e->begin_gain_calibration();
+    for (const Tensor& img : calib_images)
+      (void)net_.forward(img, nn::Mode::Eval);
+    for (auto& e : engines) {
+      e->finish_gain_calibration();
+      stats_.output_gains.push_back(e->output_gain());
+    }
+  }
+
+  NVM_LOG(Info) << "deployed " << net_.arch() << " on " << model->config().name
+                << "/" << model->name() << " (" << stats_.mvm_layers
+                << " MVM layers)";
+}
+
+HwDeployment::~HwDeployment() {
+  net_.reset_mvm_engines();
+  auto bns = batchnorms(net_);
+  NVM_CHECK_EQ(bns.size(), saved_bn_.size());
+  for (std::size_t i = 0; i < bns.size(); ++i) {
+    bns[i]->running_mean() = saved_bn_[i].first;
+    bns[i]->running_var() = saved_bn_[i].second;
+    bns[i]->set_frozen(true);
+  }
+}
+
+}  // namespace nvm::puma
+

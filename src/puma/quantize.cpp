@@ -1,0 +1,47 @@
+#include "puma/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nvm::puma {
+
+QuantizedWeights quantize_weights(const Tensor& w, std::int64_t bits) {
+  NVM_CHECK(bits >= 2 && bits <= 16, "weight bits=" << bits);
+  QuantizedWeights out;
+  out.qmax = (std::int64_t{1} << (bits - 1)) - 1;
+  const float wmax = w.abs_max();
+  out.scale = wmax > 0 ? wmax / static_cast<float>(out.qmax) : 1.0f;
+  out.q = Tensor(w.shape());
+  const float inv = 1.0f / out.scale;
+  auto src = w.data();
+  auto dst = out.q.data();
+  for (std::size_t i = 0; i < src.size(); ++i)
+    dst[i] = std::round(src[i] * inv);
+  return out;
+}
+
+Tensor quantize_activations(const Tensor& x, float scale, std::int64_t bits) {
+  NVM_CHECK(bits >= 1 && bits <= 16, "activation bits=" << bits);
+  NVM_CHECK_GT(scale, 0.0f);
+  const float qmax = static_cast<float>((std::int64_t{1} << bits) - 1);
+  Tensor out(x.shape());
+  auto src = x.data();
+  auto dst = out.data();
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const float clipped = std::clamp(src[i], 0.0f, scale);
+    dst[i] = std::round(clipped / scale * qmax);
+  }
+  return out;
+}
+
+float adc_quantize(float current, float full_scale, std::int64_t bits) {
+  NVM_CHECK(bits >= 2 && bits <= 16, "adc bits=" << bits);
+  NVM_CHECK_GT(full_scale, 0.0f);
+  const float steps = static_cast<float>((std::int64_t{1} << bits) - 1);
+  const float clamped = std::clamp(current, 0.0f, full_scale);
+  return std::round(clamped / full_scale * steps) * full_scale / steps;
+}
+
+}  // namespace nvm::puma

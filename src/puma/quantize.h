@@ -1,0 +1,29 @@
+// Fixed-point quantization helpers for the PUMA-style mapping.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace nvm::puma {
+
+/// Symmetric signed quantization of a weight tensor.
+/// q = round(w / scale), q in [-qmax, qmax], scale = max|w| / qmax.
+struct QuantizedWeights {
+  Tensor q;          ///< integer values stored as float
+  float scale = 1.0f;
+  std::int64_t qmax = 0;
+};
+
+QuantizedWeights quantize_weights(const Tensor& w, std::int64_t bits);
+
+/// Unsigned quantization of a non-negative activation tensor against a
+/// fixed scale (the calibrated per-layer maximum): values are clipped to
+/// [0, scale] and mapped to integers [0, 2^bits - 1].
+Tensor quantize_activations(const Tensor& x, float scale, std::int64_t bits);
+
+/// Uniform mid-tread quantizer for analog column currents (the ADC):
+/// clamps to [0, full_scale] and rounds to 2^bits - 1 steps.
+float adc_quantize(float current, float full_scale, std::int64_t bits);
+
+}  // namespace nvm::puma

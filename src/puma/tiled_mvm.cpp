@@ -1,0 +1,193 @@
+#include "puma/tiled_mvm.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "puma/bit_slicing.h"
+#include "puma/quantize.h"
+
+namespace nvm::puma {
+
+std::int64_t HwConfig::weight_slices() const {
+  return slice_count(weight_bits - 1, slice_bits);
+}
+
+std::int64_t HwConfig::input_streams() const {
+  return slice_count(input_bits, stream_bits);
+}
+
+std::string HwConfig::tag() const {
+  std::ostringstream os;
+  os << "w" << weight_bits << "s" << slice_bits << "i" << input_bits << "t"
+     << stream_bits << "a" << adc_bits << (skip_zero_tiles ? "" : "_noskip")
+     << (gain_trim ? "_trim" : "") << (bn_reestimate ? "" : "_nobn");
+  return os.str();
+}
+
+TiledMatrix::TiledMatrix(const Tensor& w,
+                         std::shared_ptr<const xbar::MvmModel> model,
+                         HwConfig hw)
+    : hw_(hw), model_(std::move(model)) {
+  NVM_CHECK(model_ != nullptr);
+  NVM_CHECK_EQ(w.rank(), 2u);
+  const auto& cfg = model_->config();
+  NVM_CHECK((std::int64_t{1} << hw_.slice_bits) <= cfg.levels,
+            "slice bits exceed device levels");
+  m_ = w.dim(0);
+  k_ = w.dim(1);
+  row_tiles_ = (k_ + cfg.rows - 1) / cfg.rows;
+  col_tiles_ = (m_ + cfg.cols - 1) / cfg.cols;
+  const std::int64_t slices = hw_.weight_slices();
+
+  QuantizedWeights qw = quantize_weights(w, hw_.weight_bits);
+  weight_scale_ = qw.scale;
+
+  const float g_off = static_cast<float>(cfg.g_off());
+  const float g_unit = static_cast<float>(
+      (cfg.g_on() - cfg.g_off()) /
+      static_cast<double>((std::int64_t{1} << hw_.slice_bits) - 1));
+
+  tiles_.resize(
+      static_cast<std::size_t>(row_tiles_ * col_tiles_ * 2 * slices));
+  for (std::int64_t ti = 0; ti < row_tiles_; ++ti) {
+    const std::int64_t k0 = ti * cfg.rows;
+    const std::int64_t k1 = std::min(k_, k0 + cfg.rows);
+    for (std::int64_t tj = 0; tj < col_tiles_; ++tj) {
+      const std::int64_t m0 = tj * cfg.cols;
+      const std::int64_t m1 = std::min(m_, m0 + cfg.cols);
+      for (int pol = 0; pol < 2; ++pol) {
+        // Polarity 0 = positive weights, 1 = negative magnitudes.
+        Tensor mag({k1 - k0, m1 - m0});
+        bool any = false;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          for (std::int64_t mm = m0; mm < m1; ++mm) {
+            const float q = qw.q.at(mm, kk);
+            const float v = (pol == 0) ? std::max(q, 0.0f) : std::max(-q, 0.0f);
+            mag.at(kk - k0, mm - m0) = v;
+            any = any || v != 0.0f;
+          }
+        }
+        for (std::int64_t s = 0; s < slices; ++s) {
+          const std::size_t slot = static_cast<std::size_t>(
+              ((ti * col_tiles_ + tj) * 2 + pol) * slices + s);
+          if (hw_.skip_zero_tiles && !any) continue;  // whole polarity empty
+          Tensor chunk = extract_chunk(mag, s, hw_.slice_bits);
+          if (hw_.skip_zero_tiles && chunk.abs_max() == 0.0f) continue;
+          // Map to conductances on a full (rows x cols) crossbar; unused
+          // cells stay at g_off and are cancelled by baseline subtraction
+          // (their inputs are zero-padded anyway).
+          Tensor g = Tensor::full({cfg.rows, cfg.cols}, g_off);
+          for (std::int64_t kk = 0; kk < k1 - k0; ++kk)
+            for (std::int64_t mm = 0; mm < m1 - m0; ++mm)
+              g.at(kk, mm) = g_off + g_unit * chunk.at(kk, mm);
+          tiles_[slot] = model_->program(g);
+          ++programmed_count_;
+        }
+      }
+    }
+  }
+}
+
+std::int64_t TiledMatrix::total_tile_slots() const {
+  return row_tiles_ * col_tiles_ * 2 * hw_.weight_slices();
+}
+
+Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
+  NVM_CHECK_EQ(x.rank(), 2u);
+  NVM_CHECK_EQ(x.dim(0), k_);
+  const std::int64_t n = x.dim(1);
+  NVM_CHECK(x.min() >= -1e-4f, "crossbar inputs must be non-negative, got "
+                                   << x.min());
+
+  float s_x = input_scale;
+  if (s_x <= 0.0f) s_x = x.max();
+  Tensor result({m_, n});
+  if (s_x <= 0.0f) return result;  // all-zero input
+
+  const auto& cfg = model_->config();
+  Tensor xq = quantize_activations(x, s_x, hw_.input_bits);
+
+  const std::int64_t slices = hw_.weight_slices();
+  const std::int64_t streams = hw_.input_streams();
+  const float v_unit = static_cast<float>(
+      cfg.v_read / static_cast<double>((std::int64_t{1} << hw_.stream_bits) - 1));
+  const float g_unit = static_cast<float>(
+      (cfg.g_on() - cfg.g_off()) /
+      static_cast<double>((std::int64_t{1} << hw_.slice_bits) - 1));
+  const float g_off = static_cast<float>(cfg.g_off());
+  const float i_scale = static_cast<float>(cfg.i_scale());
+  const float dot_unit = v_unit * g_unit;  // amps per integer dot count
+
+  for (std::int64_t ti = 0; ti < row_tiles_; ++ti) {
+    const std::int64_t k0 = ti * cfg.rows;
+    const std::int64_t k1 = std::min(k_, k0 + cfg.rows);
+    const std::int64_t k_used = k1 - k0;
+
+    // Zero-padded integer input block for this row tile.
+    Tensor xblock({cfg.rows, n});
+    for (std::int64_t kk = 0; kk < k_used; ++kk) {
+      const float* src = xq.raw() + (k0 + kk) * n;
+      float* dst = xblock.raw() + kk * n;
+      for (std::int64_t nn = 0; nn < n; ++nn) dst[nn] = src[nn];
+    }
+
+    for (std::int64_t t = 0; t < streams; ++t) {
+      Tensor chunk = extract_chunk(xblock, t, hw_.stream_bits);
+      if (hw_.skip_zero_tiles && chunk.abs_max() == 0.0f) continue;
+
+      // DAC: integer chunk -> voltages; also per-vector chunk sums for the
+      // digital g_off baseline subtraction.
+      Tensor volts = chunk;  // copy
+      volts *= v_unit;
+      std::vector<float> baseline(static_cast<std::size_t>(n), 0.0f);
+      for (std::int64_t kk = 0; kk < k_used; ++kk) {
+        const float* src = chunk.raw() + kk * n;
+        for (std::int64_t nn = 0; nn < n; ++nn)
+          baseline[static_cast<std::size_t>(nn)] += src[nn];
+      }
+      for (std::int64_t nn = 0; nn < n; ++nn)
+        baseline[static_cast<std::size_t>(nn)] *= g_off * v_unit;
+
+      const float stream_w = chunk_weight(t, hw_.stream_bits);
+      for (std::int64_t tj = 0; tj < col_tiles_; ++tj) {
+        const std::int64_t m0 = tj * cfg.cols;
+        const std::int64_t m1 = std::min(m_, m0 + cfg.cols);
+        const std::int64_t m_used = m1 - m0;
+        for (int pol = 0; pol < 2; ++pol) {
+          const float sign = (pol == 0) ? 1.0f : -1.0f;
+          for (std::int64_t s = 0; s < slices; ++s) {
+            const std::size_t slot = static_cast<std::size_t>(
+                ((ti * col_tiles_ + tj) * 2 + pol) * slices + s);
+            xbar::ProgrammedXbar* tile = tiles_[slot].get();
+            if (tile == nullptr) continue;
+            Tensor currents =
+                tile->mvm_batch_active(volts, k_used, m_used);  // (cols, n)
+            for (std::int64_t mm = 0; mm < m_used; ++mm) {
+              float* cur = currents.raw() + mm * n;
+              for (std::int64_t nn = 0; nn < n; ++nn)
+                cur[nn] = adc_quantize(cur[nn], i_scale, hw_.adc_bits);
+            }
+            const float shift =
+                sign * stream_w * chunk_weight(s, hw_.slice_bits) / dot_unit;
+            for (std::int64_t mm = 0; mm < m_used; ++mm) {
+              const float* cur = currents.raw() + mm * n;
+              float* res = result.raw() + (m0 + mm) * n;
+              for (std::int64_t nn = 0; nn < n; ++nn)
+                res[nn] +=
+                    shift * (cur[nn] - baseline[static_cast<std::size_t>(nn)]);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Undo integer scaling: W ~ weight_scale * Wq, X ~ s_x * Xq / (2^ib - 1).
+  const float x_unit =
+      s_x / static_cast<float>((std::int64_t{1} << hw_.input_bits) - 1);
+  result *= weight_scale_ * x_unit;
+  return result;
+}
+
+}  // namespace nvm::puma

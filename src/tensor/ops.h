@@ -1,0 +1,55 @@
+// Tensor linear algebra and image-layout kernels.
+//
+// Convolutions throughout the library are expressed as im2col + matmul so
+// that the same GEMM maps both to the reference float path (nn::) and to
+// the tiled crossbar path (puma::), which consumes the im2col columns as
+// crossbar input vectors.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace nvm {
+
+/// C = A(MxK) * B(KxN). Shapes are validated.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// y = A(MxK) * x(K). Returns a 1-d tensor of length M.
+Tensor matvec(const Tensor& a, const Tensor& x);
+
+/// Transpose of a 2-d tensor.
+Tensor transpose2d(const Tensor& a);
+
+/// Geometry of a 2-d convolution; all convs are square-kernel, symmetric
+/// padding, equal stride in both dims.
+struct ConvGeom {
+  std::int64_t in_c = 0, in_h = 0, in_w = 0;
+  std::int64_t out_c = 0;
+  std::int64_t kernel = 1;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// Rows of the im2col matrix = in_c * kernel * kernel.
+  std::int64_t patch_size() const { return in_c * kernel * kernel; }
+};
+
+/// Unfolds input (C,H,W) into a (patch_size, out_h*out_w) matrix. Each
+/// column is the receptive field of one output pixel.
+Tensor im2col(const Tensor& input, const ConvGeom& g);
+
+/// Adjoint of im2col: folds a (patch_size, out_h*out_w) matrix back into a
+/// (C,H,W) tensor, accumulating overlaps. Used for conv backward-to-input.
+Tensor col2im(const Tensor& cols, const ConvGeom& g);
+
+/// Zero-pads a (C,H,W) tensor by `top/left` with final size (C,H2,W2).
+Tensor pad_image(const Tensor& img, std::int64_t top, std::int64_t left,
+                 std::int64_t out_h, std::int64_t out_w);
+
+/// Nearest-neighbour resize of a (C,H,W) tensor to (C,out_h,out_w).
+Tensor resize_nearest(const Tensor& img, std::int64_t out_h,
+                      std::int64_t out_w);
+
+}  // namespace nvm

@@ -1,0 +1,249 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nvm {
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) {
+    NVM_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_numel(shape_)), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  NVM_CHECK_EQ(shape_numel(shape_), static_cast<std::int64_t>(data_.size()));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, float lo, float hi, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, float mean, float stddev, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::from(std::initializer_list<float> values) {
+  return Tensor({static_cast<std::int64_t>(values.size())},
+                std::vector<float>(values));
+}
+
+std::int64_t Tensor::dim(std::size_t i) const {
+  NVM_CHECK_LT(i, shape_.size());
+  return shape_[i];
+}
+
+float& Tensor::operator[](std::int64_t flat) {
+  NVM_CHECK(flat >= 0 && flat < numel(), "flat=" << flat);
+  return data_[static_cast<std::size_t>(flat)];
+}
+float Tensor::operator[](std::int64_t flat) const {
+  NVM_CHECK(flat >= 0 && flat < numel(), "flat=" << flat);
+  return data_[static_cast<std::size_t>(flat)];
+}
+
+std::int64_t Tensor::flat2(std::int64_t i, std::int64_t j) const {
+  NVM_CHECK_EQ(rank(), 2u);
+  NVM_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+            "(" << i << "," << j << ") in " << shape_str(shape_));
+  return i * shape_[1] + j;
+}
+
+std::int64_t Tensor::flat3(std::int64_t i, std::int64_t j,
+                           std::int64_t k) const {
+  NVM_CHECK_EQ(rank(), 3u);
+  NVM_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+                k < shape_[2],
+            "(" << i << "," << j << "," << k << ") in " << shape_str(shape_));
+  return (i * shape_[1] + j) * shape_[2] + k;
+}
+
+std::int64_t Tensor::flat4(std::int64_t n, std::int64_t c, std::int64_t h,
+                           std::int64_t w) const {
+  NVM_CHECK_EQ(rank(), 4u);
+  NVM_CHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] && h >= 0 &&
+                h < shape_[2] && w >= 0 && w < shape_[3],
+            "(" << n << "," << c << "," << h << "," << w << ") in "
+                << shape_str(shape_));
+  return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+}
+
+float& Tensor::at(std::int64_t i, std::int64_t j) {
+  return data_[static_cast<std::size_t>(flat2(i, j))];
+}
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  return data_[static_cast<std::size_t>(flat2(i, j))];
+}
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) {
+  return data_[static_cast<std::size_t>(flat3(i, j, k))];
+}
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const {
+  return data_[static_cast<std::size_t>(flat3(i, j, k))];
+}
+float& Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  return data_[static_cast<std::size_t>(flat4(n, c, h, w))];
+}
+float Tensor::at(std::int64_t n, std::int64_t c, std::int64_t h,
+                 std::int64_t w) const {
+  return data_[static_cast<std::size_t>(flat4(n, c, h, w))];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::reshape(Shape new_shape) {
+  NVM_CHECK_EQ(shape_numel(new_shape), numel());
+  shape_ = std::move(new_shape);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  NVM_CHECK(same_shape(other), shape_str(shape_) << " vs "
+                                                 << shape_str(other.shape_));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  NVM_CHECK(same_shape(other), shape_str(shape_) << " vs "
+                                                 << shape_str(other.shape_));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+  NVM_CHECK(same_shape(other), shape_str(shape_) << " vs "
+                                                 << shape_str(other.shape_));
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float s) {
+  for (auto& v : data_) v += s;
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float alpha) {
+  NVM_CHECK(same_shape(other), shape_str(shape_) << " vs "
+                                                 << shape_str(other.shape_));
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::clamp(float lo, float hi) {
+  NVM_CHECK_LE(lo, hi);
+  for (auto& v : data_) v = std::clamp(v, lo, hi);
+}
+
+float Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::mean() const {
+  NVM_CHECK_GT(numel(), 0);
+  return sum() / static_cast<float>(numel());
+}
+
+float Tensor::min() const {
+  NVM_CHECK_GT(numel(), 0);
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  NVM_CHECK_GT(numel(), 0);
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::int64_t Tensor::argmax() const {
+  NVM_CHECK_GT(numel(), 0);
+  return static_cast<std::int64_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::norm2() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void Tensor::save(BinaryWriter& w) const {
+  w.write_i64_vec(shape_);
+  w.write_f32_vec(data_);
+}
+
+Tensor Tensor::load(BinaryReader& r) {
+  Shape shape = r.read_i64_vec();
+  std::vector<float> data = r.read_f32_vec();
+  return Tensor(std::move(shape), std::move(data));
+}
+
+Tensor operator+(Tensor a, const Tensor& b) { return a += b; }
+Tensor operator-(Tensor a, const Tensor& b) { return a -= b; }
+Tensor operator*(Tensor a, const Tensor& b) { return a *= b; }
+Tensor operator*(Tensor a, float s) { return a *= s; }
+Tensor operator*(float s, Tensor a) { return a *= s; }
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  NVM_CHECK(a.same_shape(b));
+  float m = 0.0f;
+  auto da = a.data();
+  auto db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i)
+    m = std::max(m, std::abs(da[i] - db[i]));
+  return m;
+}
+
+}  // namespace nvm

@@ -1,0 +1,126 @@
+// Dense row-major float32 tensor.
+//
+// This is the numeric workhorse for the whole library: network weights and
+// activations, crossbar conductance matrices, images. It is deliberately a
+// concrete value type (Core Guidelines C.10): contiguous storage, explicit
+// shape, copy = deep copy, no views or strides. Anything that needs
+// aliasing works on spans of the underlying data.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace nvm {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Returns the element count of a shape (product of dims, 1 for scalar).
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable "[2, 3, 4]" form for diagnostics.
+std::string shape_str(const Shape& shape);
+
+class Tensor {
+ public:
+  /// Empty 0-d tensor (numel == 1? no: numel == 0, shape {}). Default
+  /// constructed tensors hold no elements and shape {0}.
+  Tensor() : shape_{0} {}
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor with explicit contents; data.size() must equal numel(shape).
+  Tensor(Shape shape, std::vector<float> data);
+
+  // Factories -------------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+  static Tensor uniform(Shape shape, float lo, float hi, Rng& rng);
+  static Tensor normal(Shape shape, float mean, float stddev, Rng& rng);
+  /// 1-d tensor from an initializer list.
+  static Tensor from(std::initializer_list<float> values);
+
+  // Introspection ----------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::int64_t dim(std::size_t i) const;
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  float* raw() { return data_.data(); }
+  const float* raw() const { return data_.data(); }
+
+  // Element access (bounds-checked) ----------------------------------------
+  float& operator[](std::int64_t flat);
+  float operator[](std::int64_t flat) const;
+  float& at(std::int64_t i, std::int64_t j);
+  float at(std::int64_t i, std::int64_t j) const;
+  float& at(std::int64_t i, std::int64_t j, std::int64_t k);
+  float at(std::int64_t i, std::int64_t j, std::int64_t k) const;
+  float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  // Shape manipulation ------------------------------------------------------
+  /// Returns a copy with a new shape; numel must match.
+  Tensor reshaped(Shape new_shape) const;
+  /// In-place reshape; numel must match.
+  void reshape(Shape new_shape);
+
+  // In-place arithmetic -----------------------------------------------------
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);  // elementwise
+  Tensor& operator+=(float s);
+  Tensor& operator*=(float s);
+
+  /// this += alpha * other (axpy).
+  void add_scaled(const Tensor& other, float alpha);
+  void fill(float value);
+  /// Clamps every element into [lo, hi].
+  void clamp(float lo, float hi);
+
+  // Reductions ---------------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// Index of the maximum element (first on ties).
+  std::int64_t argmax() const;
+  /// L2 norm of all elements.
+  float norm2() const;
+  /// Maximum |element|.
+  float abs_max() const;
+
+  // Serialization -------------------------------------------------------------
+  void save(BinaryWriter& w) const;
+  static Tensor load(BinaryReader& r);
+
+ private:
+  std::int64_t flat2(std::int64_t i, std::int64_t j) const;
+  std::int64_t flat3(std::int64_t i, std::int64_t j, std::int64_t k) const;
+  std::int64_t flat4(std::int64_t n, std::int64_t c, std::int64_t h,
+                     std::int64_t w) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// Out-of-place arithmetic (value semantics).
+Tensor operator+(Tensor a, const Tensor& b);
+Tensor operator-(Tensor a, const Tensor& b);
+Tensor operator*(Tensor a, const Tensor& b);
+Tensor operator*(Tensor a, float s);
+Tensor operator*(float s, Tensor a);
+
+/// Max |a - b| over all elements; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace nvm

@@ -1,0 +1,174 @@
+#include "xbar/circuit_solver.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "xbar/device.h"
+
+namespace nvm::xbar {
+
+namespace {
+
+/// Thomas algorithm for a tridiagonal system. diag/rhs are overwritten.
+/// `off` is the (constant) off-diagonal entry (-gw here, passed positive
+/// and applied with its sign internally for clarity at the call sites).
+void solve_tridiagonal(std::vector<double>& diag, std::vector<double>& rhs,
+                       double off, std::vector<double>& out) {
+  const std::size_t n = diag.size();
+  // Forward elimination: eliminate the sub-diagonal (-off).
+  for (std::size_t k = 1; k < n; ++k) {
+    const double m = -off / diag[k - 1];
+    diag[k] -= m * -off;
+    rhs[k] -= m * rhs[k - 1];
+  }
+  out[n - 1] = rhs[n - 1] / diag[n - 1];
+  for (std::size_t k = n - 1; k-- > 0;)
+    out[k] = (rhs[k] + off * out[k + 1]) / diag[k];
+}
+
+/// Crossbar nodal analysis via block line relaxation: each outer iteration
+/// re-linearizes the nonlinear devices (secant conductance), then solves
+/// every row wire chain and every column wire chain exactly as tridiagonal
+/// systems with the opposite side held fixed. The wire stiffness
+/// (g_wire >> g_device) is handled inside the direct solves, so the outer
+/// loop converges at the device/wire coupling rate — a handful of sweeps.
+class Solver {
+ public:
+  Solver(const CrossbarConfig& cfg, const SolverOptions& opt, const Tensor& g)
+      : cfg_(cfg),
+        opt_(opt),
+        rows_(cfg.rows),
+        cols_(cfg.cols),
+        g_(g.data().begin(), g.data().end()),
+        geff_(g_),
+        vr_(static_cast<std::size_t>(rows_ * cols_), 0.0),
+        vc_(static_cast<std::size_t>(rows_ * cols_), 0.0),
+        gs_(1.0 / cfg.r_source),
+        gk_(1.0 / cfg.r_sink),
+        gw_(1.0 / cfg.r_wire) {}
+
+  Tensor solve(const Tensor& v, int* sweeps_used) {
+    NVM_CHECK_EQ(v.numel(), rows_);
+    for (std::int64_t i = 0; i < rows_; ++i)
+      for (std::int64_t j = 0; j < cols_; ++j) vr_[idx(i, j)] = v[i];
+    std::fill(vc_.begin(), vc_.end(), 0.0);
+
+    std::vector<double> diag, rhs, sol;
+    int sweep = 0;
+    for (; sweep < opt_.max_sweeps; ++sweep) {
+      relinearize();
+
+      // Row chains: unknowns vr[i][*]; vc held fixed.
+      diag.assign(static_cast<std::size_t>(cols_), 0.0);
+      rhs.assign(static_cast<std::size_t>(cols_), 0.0);
+      sol.assign(static_cast<std::size_t>(cols_), 0.0);
+      for (std::int64_t i = 0; i < rows_; ++i) {
+        for (std::int64_t j = 0; j < cols_; ++j) {
+          const std::size_t k = idx(i, j);
+          double d = geff_[k];
+          double r = geff_[k] * vc_[k];
+          if (j == 0) {
+            d += gs_;
+            r += gs_ * v[i];
+          }
+          if (j > 0) d += gw_;
+          if (j + 1 < cols_) d += gw_;
+          diag[static_cast<std::size_t>(j)] = d;
+          rhs[static_cast<std::size_t>(j)] = r;
+        }
+        solve_tridiagonal(diag, rhs, gw_, sol);
+        for (std::int64_t j = 0; j < cols_; ++j)
+          vr_[idx(i, j)] = sol[static_cast<std::size_t>(j)];
+      }
+
+      // Column chains: unknowns vc[*][j]; vr held fixed.
+      double max_delta = 0.0;
+      diag.assign(static_cast<std::size_t>(rows_), 0.0);
+      rhs.assign(static_cast<std::size_t>(rows_), 0.0);
+      sol.assign(static_cast<std::size_t>(rows_), 0.0);
+      for (std::int64_t j = 0; j < cols_; ++j) {
+        for (std::int64_t i = 0; i < rows_; ++i) {
+          const std::size_t k = idx(i, j);
+          double d = geff_[k];
+          double r = geff_[k] * vr_[k];
+          if (i > 0) d += gw_;
+          if (i + 1 < rows_) d += gw_;
+          else d += gk_;  // bottom node ties to ground through the sink
+          diag[static_cast<std::size_t>(i)] = d;
+          rhs[static_cast<std::size_t>(i)] = r;
+        }
+        solve_tridiagonal(diag, rhs, gw_, sol);
+        for (std::int64_t i = 0; i < rows_; ++i) {
+          const std::size_t k = idx(i, j);
+          max_delta = std::max(max_delta,
+                               std::abs(sol[static_cast<std::size_t>(i)] - vc_[k]));
+          vc_[k] = sol[static_cast<std::size_t>(i)];
+        }
+      }
+
+      // Converge on relative voltage movement against the drive scale.
+      if (max_delta < opt_.tol * cfg_.v_read + 1e-15) {
+        ++sweep;
+        break;
+      }
+    }
+    if (sweeps_used != nullptr) *sweeps_used = sweep;
+
+    Tensor out({cols_});
+    for (std::int64_t j = 0; j < cols_; ++j)
+      out[j] = static_cast<float>(vc_[idx(rows_ - 1, j)] * gk_);
+    return out;
+  }
+
+ private:
+  std::size_t idx(std::int64_t i, std::int64_t j) const {
+    return static_cast<std::size_t>(i * cols_ + j);
+  }
+
+  void relinearize() {
+    const double b = cfg_.device_nonlin;
+    for (std::size_t k = 0; k < g_.size(); ++k)
+      geff_[k] = device_secant_conductance(g_[k], vr_[k] - vc_[k], b);
+  }
+
+  const CrossbarConfig& cfg_;
+  const SolverOptions& opt_;
+  std::int64_t rows_, cols_;
+  std::vector<double> g_, geff_;
+  std::vector<double> vr_, vc_;
+  double gs_, gk_, gw_;
+};
+
+class SolverProgrammed final : public ProgrammedXbar {
+ public:
+  SolverProgrammed(CrossbarConfig cfg, SolverOptions opt, Tensor g)
+      : cfg_(std::move(cfg)), opt_(opt), g_(std::move(g)) {}
+
+  Tensor mvm(const Tensor& v) override {
+    Solver solver(cfg_, opt_, g_);
+    return solver.solve(v, nullptr);
+  }
+
+ private:
+  CrossbarConfig cfg_;
+  SolverOptions opt_;
+  Tensor g_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProgrammedXbar> CircuitSolverModel::program(
+    const Tensor& g) const {
+  validate_conductances(g, cfg_);
+  return std::make_unique<SolverProgrammed>(cfg_, opt_, g);
+}
+
+Tensor solve_crossbar(const CrossbarConfig& cfg, const SolverOptions& opt,
+                      const Tensor& g, const Tensor& v, int* sweeps_used) {
+  validate_conductances(g, cfg);
+  Solver solver(cfg, opt, g);
+  return solver.solve(v, sweeps_used);
+}
+
+}  // namespace nvm::xbar

@@ -1,0 +1,56 @@
+// Full nodal analysis of the parasitic crossbar network.
+//
+// This is the repo's stand-in for the paper's HSPICE simulations: the
+// ground-truth non-ideal MVM against which the GENIEx surrogate is trained
+// and validated.
+//
+// Network topology (per Fig. 1 of the paper):
+//
+//   V_i --R_source-- vr[i][0] --R_wire-- vr[i][1] -- ... -- vr[i][C-1]
+//                        |                  |                  |
+//                     device(G_i0)      device(G_i1)       device(G_iC-1)
+//                        |                  |                  |
+//   vc[0][j] --R_wire-- vc[1][j] -- ... -- vc[R-1][j] --R_sink-- GND
+//
+// Devices follow the nonlinear I(V) = G*sinh(b*V)/b model. The solver uses
+// block line relaxation: every outer sweep re-linearizes the devices
+// (secant conductance), then solves each row wire chain and each column
+// wire chain *exactly* as a tridiagonal system (Thomas algorithm) with the
+// opposite side held fixed. The stiff wire coupling (g_wire >> g_device)
+// lives inside the direct solves, so the outer loop converges at the weak
+// device/wire coupling rate — a handful of sweeps even for 64x64 arrays.
+//
+// Output: I_j = current into the column-j sink resistor.
+#pragma once
+
+#include "xbar/mvm_model.h"
+
+namespace nvm::xbar {
+
+struct SolverOptions {
+  /// Convergence threshold on node-voltage movement, relative to v_read.
+  double tol = 1e-9;
+  int max_sweeps = 200;
+};
+
+class CircuitSolverModel final : public MvmModel {
+ public:
+  explicit CircuitSolverModel(CrossbarConfig cfg, SolverOptions opt = {})
+      : cfg_(std::move(cfg)), opt_(opt) {}
+
+  std::unique_ptr<ProgrammedXbar> program(const Tensor& g) const override;
+  const CrossbarConfig& config() const override { return cfg_; }
+  std::string name() const override { return "circuit_solver"; }
+
+ private:
+  CrossbarConfig cfg_;
+  SolverOptions opt_;
+};
+
+/// One-shot solve (programs then evaluates); returns column currents and,
+/// via out parameter, the number of sweeps used (for convergence tests).
+Tensor solve_crossbar(const CrossbarConfig& cfg, const SolverOptions& opt,
+                      const Tensor& g, const Tensor& v,
+                      int* sweeps_used = nullptr);
+
+}  // namespace nvm::xbar

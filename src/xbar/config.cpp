@@ -1,0 +1,62 @@
+#include "xbar/config.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nvm::xbar {
+
+std::string CrossbarConfig::tag() const {
+  std::ostringstream os;
+  os << rows << "x" << cols << "_ron" << r_on << "_oo" << on_off_ratio
+     << "_lv" << levels << "_rs" << r_source << "_rk" << r_sink << "_rw"
+     << r_wire << "_v" << v_read << "_b" << device_nonlin;
+  return os.str();
+}
+
+namespace {
+CrossbarConfig base() {
+  CrossbarConfig c;
+  c.r_source = 450.0;
+  c.r_sink = 560.0;
+  c.r_wire = 3.4;
+  c.v_read = 0.25;
+  c.device_nonlin = 2.0;
+  c.on_off_ratio = 20;
+  c.levels = 16;
+  return c;
+}
+}  // namespace
+
+CrossbarConfig xbar_64x64_300k() {
+  CrossbarConfig c = base();
+  c.name = "64x64_300k";
+  c.rows = c.cols = 64;
+  c.r_on = 300e3;
+  return c;
+}
+
+CrossbarConfig xbar_32x32_100k() {
+  CrossbarConfig c = base();
+  c.name = "32x32_100k";
+  c.rows = c.cols = 32;
+  c.r_on = 100e3;
+  return c;
+}
+
+CrossbarConfig xbar_64x64_100k() {
+  CrossbarConfig c = base();
+  c.name = "64x64_100k";
+  c.rows = c.cols = 64;
+  c.r_on = 100e3;
+  return c;
+}
+
+CrossbarConfig preset(const std::string& name) {
+  if (name == "64x64_300k") return xbar_64x64_300k();
+  if (name == "32x32_100k") return xbar_32x32_100k();
+  if (name == "64x64_100k") return xbar_64x64_100k();
+  NVM_CHECK(false, "unknown crossbar preset: " << name);
+}
+
+}  // namespace nvm::xbar

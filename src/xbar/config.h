@@ -1,0 +1,51 @@
+// Crossbar electrical configuration.
+//
+// Units are SI (ohms, siemens, volts, amps). The three named presets
+// reproduce Table I of the paper: NF is directly proportional to crossbar
+// size and inversely proportional to R_ON, giving
+//   64x64_300k  -> NF ~ 0.07
+//   32x32_100k  -> NF ~ 0.14
+//   64x64_100k  -> NF ~ 0.26
+// Parasitic values were calibrated once against the in-repo circuit solver
+// (see bench_table1_nf) to land in the paper's NF range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nvm::xbar {
+
+struct CrossbarConfig {
+  std::string name = "custom";
+  std::int64_t rows = 64;
+  std::int64_t cols = 64;
+
+  double r_on = 100e3;       ///< device ON resistance (ohm)
+  double on_off_ratio = 20;  ///< R_OFF / R_ON
+  std::int64_t levels = 16;  ///< programmable conductance levels per device
+
+  double r_source = 450.0;  ///< driver output resistance per row (ohm)
+  double r_sink = 560.0;    ///< sense/ground resistance per column (ohm)
+  double r_wire = 3.4;      ///< metal resistance per cell segment (ohm)
+
+  double v_read = 0.25;       ///< full-scale DAC voltage (V)
+  double device_nonlin = 2.0; ///< sinh coefficient b in I = G*sinh(b*V)/b
+
+  double g_on() const { return 1.0 / r_on; }
+  double g_off() const { return 1.0 / (r_on * on_off_ratio); }
+  /// Full-scale column current: every device ON, every input at v_read.
+  double i_scale() const { return v_read * g_on() * static_cast<double>(rows); }
+
+  /// Stable identifier for cache keys ("64x64_300k_rw2.5_...").
+  std::string tag() const;
+};
+
+/// Table I presets.
+CrossbarConfig xbar_64x64_300k();
+CrossbarConfig xbar_32x32_100k();
+CrossbarConfig xbar_64x64_100k();
+
+/// Preset lookup by paper name; throws on unknown name.
+CrossbarConfig preset(const std::string& name);
+
+}  // namespace nvm::xbar

@@ -1,0 +1,28 @@
+#include "xbar/device.h"
+
+#include <cmath>
+
+namespace nvm::xbar {
+
+double sinhc(double x) {
+  const double ax = std::abs(x);
+  if (ax < 1.2) {
+    const double x2 = x * x;
+    // Taylor series of sinh(x)/x through x^8; relative error < 2e-7 on
+    // |x| < 1.2 (the operating range is b*v_read <= ~1).
+    return 1.0 +
+           x2 / 6.0 *
+               (1.0 + x2 / 20.0 * (1.0 + x2 / 42.0 * (1.0 + x2 / 72.0)));
+  }
+  return std::sinh(x) / x;
+}
+
+double device_current(double g, double v, double b) {
+  return g * v * sinhc(b * v);
+}
+
+double device_secant_conductance(double g, double v, double b) {
+  return g * sinhc(b * v);
+}
+
+}  // namespace nvm::xbar

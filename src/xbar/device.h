@@ -1,0 +1,24 @@
+// RRAM device I-V model.
+//
+// Follows the Guan et al. compact-model form used by the paper's device
+// reference [26]: the device current is superlinear in voltage,
+//   I(V) = G * sinh(b*V) / b,
+// so the small-signal slope at V=0 equals the programmed conductance G and
+// b controls the nonlinearity. This V-dependence is what makes the
+// effective conductance matrix G(V) input-dependent (paper Eq. 2).
+#pragma once
+
+namespace nvm::xbar {
+
+/// sinh(x)/x with a cheap, accurate polynomial for |x| < 1.5 (the operating
+/// range: b*v_read <= ~0.6), falling back to the exact form outside it.
+double sinhc(double x);
+
+/// Device current at voltage drop `v` for programmed conductance `g`.
+double device_current(double g, double v, double b);
+
+/// Effective (secant) conductance I(v)/v, used by the circuit solver's
+/// per-iteration linearization. Returns g at v == 0.
+double device_secant_conductance(double g, double v, double b);
+
+}  // namespace nvm::xbar

@@ -1,0 +1,65 @@
+#include "xbar/fast_noise.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "xbar/device.h"
+
+namespace nvm::xbar {
+
+namespace {
+
+class FastNoiseProgrammed final : public ProgrammedXbar {
+ public:
+  FastNoiseProgrammed(const CrossbarConfig& cfg, Tensor g)
+      : cfg_(cfg), g_(std::move(g)) {
+    const std::int64_t rows = cfg_.rows, cols = cfg_.cols;
+    growsum_.assign(static_cast<std::size_t>(rows), 0.0);
+    gsum_.assign(static_cast<std::size_t>(cols), 0.0);
+    for (std::int64_t i = 0; i < rows; ++i)
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const double gij = g_.at(i, j);
+        growsum_[static_cast<std::size_t>(i)] += gij;
+        gsum_[static_cast<std::size_t>(j)] += gij;
+      }
+    col_atten_.assign(static_cast<std::size_t>(cols), 1.0);
+    const double r_col = cfg_.r_sink + 0.5 * cfg_.r_wire * rows;
+    for (std::int64_t j = 0; j < cols; ++j)
+      col_atten_[static_cast<std::size_t>(j)] =
+          1.0 / (1.0 + r_col * gsum_[static_cast<std::size_t>(j)]);
+  }
+
+  Tensor mvm(const Tensor& v) override {
+    NVM_CHECK_EQ(v.numel(), cfg_.rows);
+    const std::int64_t rows = cfg_.rows, cols = cfg_.cols;
+    const double b = cfg_.device_nonlin;
+    Tensor out({cols});
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const double r_row_base = cfg_.r_source + cfg_.r_wire * j;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < rows; ++i) {
+        const double atten =
+            1.0 / (1.0 + r_row_base * growsum_[static_cast<std::size_t>(i)]);
+        const double v_eff =
+            v[i] * atten * col_atten_[static_cast<std::size_t>(j)];
+        acc += device_current(g_.at(i, j), v_eff, b);
+      }
+      out[j] = static_cast<float>(acc);
+    }
+    return out;
+  }
+
+ private:
+  const CrossbarConfig& cfg_;
+  Tensor g_;
+  std::vector<double> growsum_, gsum_, col_atten_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProgrammedXbar> FastNoiseModel::program(const Tensor& g) const {
+  validate_conductances(g, cfg_);
+  return std::make_unique<FastNoiseProgrammed>(cfg_, g);
+}
+
+}  // namespace nvm::xbar

@@ -1,0 +1,374 @@
+#include "xbar/geniex.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/file_cache.h"
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace nvm::xbar {
+
+namespace {
+
+/// Precomputed per-programming state shared by feature assembly.
+struct ProgramStats {
+  Tensor gt;       // (cols, rows)
+  Tensor gtd;      // (cols, rows), g_ij * (rows-1-i)/rows (column-wire distance)
+  Tensor gsum;     // (cols)
+  Tensor growsum;  // (rows)
+  float garr = 0;  // normalized total conductance
+
+  ProgramStats(const CrossbarConfig& cfg, const Tensor& g) {
+    const std::int64_t rows = cfg.rows, cols = cfg.cols;
+    gt = transpose2d(g);
+    gtd = Tensor({cols, rows});
+    gsum = Tensor({cols});
+    growsum = Tensor({rows});
+    double total = 0.0;
+    for (std::int64_t i = 0; i < rows; ++i) {
+      double rsum = 0.0;
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const float gij = g.at(i, j);
+        rsum += gij;
+        gsum[j] += gij;
+        gtd.at(j, i) =
+            gij * static_cast<float>(rows - 1 - i) / static_cast<float>(rows);
+      }
+      growsum[i] = static_cast<float>(rsum);
+      total += rsum;
+    }
+    garr = static_cast<float>(total / (cfg.g_on() * rows * cols));
+  }
+};
+
+/// Fills one feature row. `iid` is the ideal current of column j.
+void fill_features(const CrossbarConfig& cfg, const ProgramStats& st,
+                   std::int64_t j, float iid, float vbar, float v2bar,
+                   float rbar, float e_j, float p_j, float w_j, float* out) {
+  const auto rows = static_cast<float>(cfg.rows);
+  const auto cols = static_cast<float>(cfg.cols);
+  const float g_on = static_cast<float>(cfg.g_on());
+  const float v_read = static_cast<float>(cfg.v_read);
+  const float i_scale = static_cast<float>(cfg.i_scale());
+  out[0] = iid / i_scale;
+  out[1] = st.gsum[j] / (g_on * rows);
+  out[2] = vbar;
+  out[3] = v2bar;
+  out[4] = e_j / (g_on * v_read * v_read * rows);
+  out[5] = p_j / (g_on * g_on * v_read * rows * rows);
+  out[6] = rbar;
+  out[7] = cols > 1 ? static_cast<float>(j) / (cols - 1) : 0.0f;
+  out[8] = st.garr;
+  out[9] = w_j / (g_on * v_read * rows);
+}
+
+class GeniexProgrammed final : public ProgrammedXbar {
+ public:
+  GeniexProgrammed(const CrossbarConfig& cfg, const MlpRegressor& mlp, Tensor g)
+      : cfg_(cfg), mlp_(mlp), stats_(cfg, g) {}
+
+  Tensor mvm(const Tensor& v) override {
+    Tensor vb = v.reshaped({cfg_.rows, 1});
+    Tensor out = mvm_batch(vb);
+    return out.reshaped({cfg_.cols});
+  }
+
+  Tensor mvm_batch(const Tensor& vb) override {
+    return mvm_batch_active(vb, cfg_.rows, cfg_.cols);
+  }
+
+  Tensor mvm_batch_active(const Tensor& vb, std::int64_t rows_used,
+                          std::int64_t cols_used) override {
+    NVM_CHECK_EQ(vb.rank(), 2u);
+    NVM_CHECK_EQ(vb.dim(0), cfg_.rows);
+    NVM_CHECK(rows_used >= 1 && rows_used <= cfg_.rows);
+    NVM_CHECK(cols_used >= 1 && cols_used <= cfg_.cols);
+    const std::int64_t rows = cfg_.rows, cols = cfg_.cols, n = vb.dim(1);
+    const float v_read = static_cast<float>(cfg_.v_read);
+    const float g_on = static_cast<float>(cfg_.g_on());
+    const float i_scale = static_cast<float>(cfg_.i_scale());
+
+    // Elementwise input transforms (rows beyond rows_used are zero volts,
+    // contributing exactly nothing to any sum below).
+    Tensor vv({rows_used, n}), vr({rows_used, n});
+    const float* pvb = vb.raw();
+    {
+      float* pvv = vv.raw();
+      float* pvr = vr.raw();
+      for (std::int64_t i = 0; i < rows_used; ++i) {
+        const float gr = stats_.growsum[i];
+        const float* src = pvb + i * n;
+        float* dv = pvv + i * n;
+        float* dr = pvr + i * n;
+        for (std::int64_t k = 0; k < n; ++k) {
+          dv[k] = src[k] * src[k];
+          dr[k] = src[k] * gr;
+        }
+      }
+    }
+
+    // Fused feature GEMMs over the active region.
+    Tensor iid({cols, n}), e({cols, n}), p({cols, n}), wd({cols, n});
+    {
+      const float* pgt = stats_.gt.raw();    // (cols, rows)
+      const float* pgtd = stats_.gtd.raw();  // (cols, rows)
+      const float* pvv = vv.raw();
+      const float* pvr = vr.raw();
+      for (std::int64_t j = 0; j < cols_used; ++j) {
+        float* oi = iid.raw() + j * n;
+        float* oe = e.raw() + j * n;
+        float* op = p.raw() + j * n;
+        float* ow = wd.raw() + j * n;
+        const float* grow = pgt + j * rows;
+        const float* gdrow = pgtd + j * rows;
+        for (std::int64_t i = 0; i < rows_used; ++i) {
+          const float g = grow[i];
+          const float gd = gdrow[i];
+          if (g == 0.0f && gd == 0.0f) continue;
+          const float* xb = pvb + i * n;
+          const float* xv = pvv + i * n;
+          const float* xr = pvr + i * n;
+          for (std::int64_t k = 0; k < n; ++k) {
+            oi[k] += g * xb[k];
+            oe[k] += g * xv[k];
+            op[k] += g * xr[k];
+            ow[k] += gd * xb[k];
+          }
+        }
+      }
+    }
+
+    // Per-input-vector scalars.
+    std::vector<float> vbar(static_cast<std::size_t>(n), 0.0f);
+    std::vector<float> v2bar(static_cast<std::size_t>(n), 0.0f);
+    std::vector<float> rbar(static_cast<std::size_t>(n), 0.0f);
+    {
+      const float* pvv = vv.raw();
+      const float* pvr = vr.raw();
+      for (std::int64_t i = 0; i < rows_used; ++i) {
+        const float* xb = pvb + i * n;
+        const float* xv = pvv + i * n;
+        const float* xr = pvr + i * n;
+        for (std::int64_t k = 0; k < n; ++k) {
+          vbar[static_cast<std::size_t>(k)] += xb[k];
+          v2bar[static_cast<std::size_t>(k)] += xv[k];
+          rbar[static_cast<std::size_t>(k)] += xr[k];
+        }
+      }
+      const float nv = 1.0f / (v_read * rows);
+      const float nv2 = 1.0f / (v_read * v_read * rows);
+      const float nr = 1.0f / (g_on * v_read * rows * rows);
+      for (std::int64_t k = 0; k < n; ++k) {
+        vbar[static_cast<std::size_t>(k)] *= nv;
+        v2bar[static_cast<std::size_t>(k)] *= nv2;
+        rbar[static_cast<std::size_t>(k)] *= nr;
+      }
+    }
+
+    Tensor out({cols, n});
+    float feats[kGeniexFeatureCount];
+    const float rel_floor = kGeniexRelFloor * i_scale;
+    for (std::int64_t j = 0; j < cols_used; ++j) {
+      const float* ji = iid.raw() + j * n;
+      const float* je = e.raw() + j * n;
+      const float* jp = p.raw() + j * n;
+      const float* jw = wd.raw() + j * n;
+      float* jo = out.raw() + j * n;
+      for (std::int64_t k = 0; k < n; ++k) {
+        fill_features(cfg_, stats_, j, ji[k],
+                      vbar[static_cast<std::size_t>(k)],
+                      v2bar[static_cast<std::size_t>(k)],
+                      rbar[static_cast<std::size_t>(k)], je[k], jp[k], jw[k],
+                      feats);
+        const float rel = mlp_.predict({feats, kGeniexFeatureCount});
+        const float denom = std::max(ji[k], rel_floor);
+        // Physical clamp: column current is non-negative and bounded by
+        // the full-scale current.
+        jo[k] = std::clamp(ji[k] - rel * denom, 0.0f, i_scale);
+      }
+    }
+    return out;
+  }
+
+ private:
+  const CrossbarConfig& cfg_;
+  const MlpRegressor& mlp_;
+  ProgramStats stats_;
+};
+
+}  // namespace
+
+Tensor geniex_features(const CrossbarConfig& cfg, const Tensor& g,
+                       const Tensor& v) {
+  validate_conductances(g, cfg);
+  NVM_CHECK_EQ(v.numel(), cfg.rows);
+  ProgramStats st(cfg, g);
+  const std::int64_t rows = cfg.rows, cols = cfg.cols;
+  const float v_read = static_cast<float>(cfg.v_read);
+  const float g_on = static_cast<float>(cfg.g_on());
+
+  double sv = 0, sv2 = 0, sr = 0;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    sv += v[i];
+    sv2 += static_cast<double>(v[i]) * v[i];
+    sr += static_cast<double>(v[i]) * st.growsum[i];
+  }
+  const float vbar = static_cast<float>(sv / (v_read * rows));
+  const float v2bar = static_cast<float>(sv2 / (v_read * v_read * rows));
+  const float rbar = static_cast<float>(sr / (g_on * v_read * rows * rows));
+
+  Tensor iid = matvec(st.gt, v);
+  Tensor e({cols}), p({cols}), wd({cols});
+  for (std::int64_t j = 0; j < cols; ++j) {
+    double ej = 0, pj = 0, wj = 0;
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const float gij = st.gt.at(j, i);
+      ej += static_cast<double>(gij) * v[i] * v[i];
+      pj += static_cast<double>(gij) * v[i] * st.growsum[i];
+      wj += static_cast<double>(st.gtd.at(j, i)) * v[i];
+    }
+    e[j] = static_cast<float>(ej);
+    p[j] = static_cast<float>(pj);
+    wd[j] = static_cast<float>(wj);
+  }
+
+  Tensor feats({cols, kGeniexFeatureCount});
+  for (std::int64_t j = 0; j < cols; ++j)
+    fill_features(cfg, st, j, iid[j], vbar, v2bar, rbar, e[j], p[j], wd[j],
+                  feats.raw() + j * kGeniexFeatureCount);
+  return feats;
+}
+
+Tensor sample_conductances(const CrossbarConfig& cfg, Rng& rng) {
+  const float g_off = static_cast<float>(cfg.g_off());
+  const float g_on = static_cast<float>(cfg.g_on());
+  const float span = g_on - g_off;
+  Tensor g({cfg.rows, cfg.cols});
+  const int pattern = static_cast<int>(rng.uniform_index(3));
+  const auto levels = static_cast<double>(cfg.levels - 1);
+  for (auto& val : g.data()) {
+    double u;
+    switch (pattern) {
+      case 0:  // uniform across the full range
+        u = rng.uniform();
+        break;
+      case 1:  // quantized to device levels (as programmed weight slices)
+        u = std::round(rng.uniform() * levels) / levels;
+        break;
+      default:  // mostly-OFF, like sliced near-zero DNN weights
+        u = rng.bernoulli(0.3) ? rng.uniform() : rng.uniform() * 0.15;
+        break;
+    }
+    val = g_off + span * static_cast<float>(u);
+  }
+  return g;
+}
+
+Tensor sample_voltages(const CrossbarConfig& cfg, Rng& rng) {
+  const float v_read = static_cast<float>(cfg.v_read);
+  Tensor v({cfg.rows});
+  const int pattern = static_cast<int>(rng.uniform_index(4));
+  const double sparsity = rng.uniform(0.3, 0.97);
+  for (auto& val : v.data()) {
+    switch (pattern) {
+      case 0:  // dense DAC levels
+        val = v_read * static_cast<float>(
+                           std::round(rng.uniform() * 7.0) / 7.0);
+        break;
+      case 1:  // sparse post-ReLU-like
+        val = rng.bernoulli(sparsity)
+                  ? 0.0f
+                  : v_read * static_cast<float>(rng.uniform());
+        break;
+      case 2:  // binary streams
+        val = rng.bernoulli(0.5) ? v_read : 0.0f;
+        break;
+      default:  // low-amplitude
+        val = v_read * static_cast<float>(rng.uniform() * 0.3);
+        break;
+    }
+  }
+  return v;
+}
+
+GeniexModel::GeniexModel(CrossbarConfig cfg, MlpRegressor mlp)
+    : cfg_(std::move(cfg)), mlp_(std::move(mlp)) {
+  NVM_CHECK_EQ(mlp_.in_dim(), kGeniexFeatureCount);
+}
+
+GeniexFit GeniexModel::fit(const CrossbarConfig& cfg,
+                           const GeniexTrainOptions& opt) {
+  Rng rng(opt.seed);
+  const std::int64_t n_samples = opt.solver_samples;
+  NVM_CHECK_GT(n_samples, 10);
+  const std::int64_t n_rows = n_samples * cfg.cols;
+  Tensor x({n_rows, kGeniexFeatureCount});
+  Tensor y({n_rows});
+  const float i_scale = static_cast<float>(cfg.i_scale());
+
+  NVM_LOG(Info) << "GENIEx fit for " << cfg.name << ": " << n_samples
+                << " circuit solves";
+  for (std::int64_t s = 0; s < n_samples; ++s) {
+    Tensor g = sample_conductances(cfg, rng);
+    Tensor v = sample_voltages(cfg, rng);
+    Tensor feats = geniex_features(cfg, g, v);
+    Tensor i_ideal = ideal_mvm(g, v);
+    Tensor i_ni = solve_crossbar(cfg, opt.solver, g, v);
+    for (std::int64_t j = 0; j < cfg.cols; ++j) {
+      const std::int64_t row = s * cfg.cols + j;
+      for (std::int64_t f = 0; f < kGeniexFeatureCount; ++f)
+        x.at(row, f) = feats.at(j, f);
+      const float denom = std::max(i_ideal[j], kGeniexRelFloor * i_scale);
+      y[row] = (i_ideal[j] - i_ni[j]) / denom;
+    }
+  }
+
+  // Hold out the last 12.5% of solves for validation.
+  const std::int64_t n_train = (n_rows * 7) / 8;
+  Tensor x_train({n_train, kGeniexFeatureCount});
+  Tensor y_train({n_train});
+  Tensor x_val({n_rows - n_train, kGeniexFeatureCount});
+  Tensor y_val({n_rows - n_train});
+  for (std::int64_t i = 0; i < n_rows; ++i) {
+    Tensor& xd = (i < n_train) ? x_train : x_val;
+    Tensor& yd = (i < n_train) ? y_train : y_val;
+    const std::int64_t r = (i < n_train) ? i : i - n_train;
+    for (std::int64_t f = 0; f < kGeniexFeatureCount; ++f)
+      xd.at(r, f) = x.at(i, f);
+    yd[r] = y[i];
+  }
+
+  Rng init_rng(opt.seed + 1);
+  MlpRegressor mlp(kGeniexFeatureCount, opt.hidden, init_rng);
+  const float train_mse = mlp.train(x_train, y_train, opt.mlp);
+  const float val_mse = mlp.mse(x_val, y_val);
+  NVM_LOG(Info) << "GENIEx " << cfg.name << " train_mse=" << train_mse
+                << " val_mse=" << val_mse;
+  return GeniexFit{std::move(mlp), train_mse, val_mse};
+}
+
+GeniexModel GeniexModel::load_or_train(const CrossbarConfig& cfg,
+                                       const GeniexTrainOptions& opt) {
+  std::ostringstream tag;
+  tag << cfg.tag() << "_s" << opt.solver_samples << "_h" << opt.hidden
+      << "_e" << opt.mlp.epochs << "_seed" << opt.seed;
+  const std::string file = "geniex_" + cfg.name + ".bin";
+
+  std::optional<MlpRegressor> mlp;
+  cache_load(file, tag.str(),
+             [&](BinaryReader& r) { mlp = MlpRegressor::load(r); });
+  if (!mlp.has_value()) {
+    GeniexFit fitted = fit(cfg, opt);
+    mlp = std::move(fitted.mlp);
+    cache_store(file, tag.str(), [&](BinaryWriter& w) { mlp->save(w); });
+  }
+  return GeniexModel(cfg, std::move(*mlp));
+}
+
+std::unique_ptr<ProgrammedXbar> GeniexModel::program(const Tensor& g) const {
+  validate_conductances(g, cfg_);
+  return std::make_unique<GeniexProgrammed>(cfg_, mlp_, g);
+}
+
+}  // namespace nvm::xbar

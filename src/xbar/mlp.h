@@ -1,0 +1,61 @@
+// Small dense MLP regressor (one tanh hidden layer) with Adam training.
+//
+// This is the "2 layer perceptron network" of the GENIEx methodology
+// (paper §II-A): it learns the mapping from crossbar state features to the
+// non-ideal output current deviation. It is intentionally independent of
+// the nn:: layer stack — inference here is a hot inner loop of every
+// crossbar MVM, so it uses a fast tanh approximation consistently in both
+// training and inference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "tensor/tensor.h"
+
+namespace nvm::xbar {
+
+/// Rational tanh approximation, max abs error ~2e-3, ~10x faster than
+/// std::tanh. The network is trained with the same function, so the
+/// approximation error is absorbed by the fit.
+float fast_tanh(float x);
+
+struct MlpTrainOptions {
+  std::int64_t epochs = 40;
+  std::int64_t batch = 64;
+  float lr = 3e-3f;
+  std::uint64_t seed = 7;
+};
+
+class MlpRegressor {
+ public:
+  /// Xavier-initialized in_dim -> hidden(tanh) -> 1 network.
+  MlpRegressor(std::int64_t in_dim, std::int64_t hidden, Rng& rng);
+
+  /// Deserializing constructor.
+  static MlpRegressor load(BinaryReader& r);
+  void save(BinaryWriter& w) const;
+
+  std::int64_t in_dim() const { return in_dim_; }
+  std::int64_t hidden() const { return hidden_; }
+
+  /// Predicts a single value from `in_dim` features.
+  float predict(std::span<const float> features) const;
+
+  /// Adam training on MSE. `x` is (n, in_dim), `y` is (n). Returns final
+  /// epoch mean squared error.
+  float train(const Tensor& x, const Tensor& y, const MlpTrainOptions& opt);
+
+  /// Mean squared error over a dataset.
+  float mse(const Tensor& x, const Tensor& y) const;
+
+ private:
+  std::int64_t in_dim_, hidden_;
+  Tensor w1_, b1_;  // (hidden, in), (hidden)
+  Tensor w2_, b2_;  // (hidden), (1)
+};
+
+}  // namespace nvm::xbar

@@ -1,0 +1,20 @@
+#include "xbar/model_zoo.h"
+
+namespace nvm::xbar {
+
+const std::vector<std::string>& paper_model_names() {
+  static const std::vector<std::string> names = {"64x64_300k", "32x32_100k",
+                                                 "64x64_100k"};
+  return names;
+}
+
+std::shared_ptr<GeniexModel> make_geniex(const std::string& name) {
+  return std::make_shared<GeniexModel>(
+      GeniexModel::load_or_train(preset(name)));
+}
+
+std::shared_ptr<CircuitSolverModel> make_solver(const std::string& name) {
+  return std::make_shared<CircuitSolverModel>(preset(name));
+}
+
+}  // namespace nvm::xbar

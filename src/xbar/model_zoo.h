@@ -1,0 +1,26 @@
+// Named crossbar model construction.
+//
+// The experiments refer to crossbars by their Table I names. This helper
+// owns the cached GENIEx fits for the three presets so every bench and
+// example shares one construction path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xbar/geniex.h"
+
+namespace nvm::xbar {
+
+/// The Table I model names in paper order.
+const std::vector<std::string>& paper_model_names();
+
+/// Builds (training or cache-loading the GENIEx surrogate for) a named
+/// model. Accepts the Table I names.
+std::shared_ptr<GeniexModel> make_geniex(const std::string& name);
+
+/// Builds the circuit-solver ground-truth model for a named preset.
+std::shared_ptr<CircuitSolverModel> make_solver(const std::string& name);
+
+}  // namespace nvm::xbar

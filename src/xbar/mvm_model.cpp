@@ -1,0 +1,90 @@
+#include "xbar/mvm_model.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace nvm::xbar {
+
+Tensor ProgrammedXbar::mvm_batch_active(const Tensor& v_batch,
+                                        std::int64_t rows_used,
+                                        std::int64_t cols_used) {
+  (void)rows_used;
+  (void)cols_used;
+  return mvm_batch(v_batch);
+}
+
+Tensor ProgrammedXbar::mvm_batch(const Tensor& v_batch) {
+  NVM_CHECK_EQ(v_batch.rank(), 2u);
+  const std::int64_t rows = v_batch.dim(0), n = v_batch.dim(1);
+  Tensor out;
+  for (std::int64_t k = 0; k < n; ++k) {
+    Tensor v({rows});
+    for (std::int64_t i = 0; i < rows; ++i) v[i] = v_batch.at(i, k);
+    Tensor y = mvm(v);
+    if (k == 0) out = Tensor({y.numel(), n});
+    for (std::int64_t j = 0; j < y.numel(); ++j) out.at(j, k) = y[j];
+  }
+  return out;
+}
+
+void validate_conductances(const Tensor& g, const CrossbarConfig& cfg) {
+  NVM_CHECK_EQ(g.rank(), 2u);
+  NVM_CHECK_EQ(g.dim(0), cfg.rows);
+  NVM_CHECK_EQ(g.dim(1), cfg.cols);
+  const float lo = static_cast<float>(cfg.g_off() * (1 - 1e-6));
+  const float hi = static_cast<float>(cfg.g_on() * (1 + 1e-6));
+  NVM_CHECK(g.min() >= lo && g.max() <= hi,
+            "conductance out of [g_off, g_on]: [" << g.min() << ", " << g.max()
+                                                  << "]");
+}
+
+namespace {
+
+class IdealProgrammed final : public ProgrammedXbar {
+ public:
+  explicit IdealProgrammed(Tensor g) : gt_(transpose2d(g)) {}
+
+  Tensor mvm(const Tensor& v) override { return matvec(gt_, v); }
+  Tensor mvm_batch(const Tensor& v_batch) override {
+    return matmul(gt_, v_batch);
+  }
+  Tensor mvm_batch_active(const Tensor& v_batch, std::int64_t rows_used,
+                          std::int64_t cols_used) override {
+    NVM_CHECK_EQ(v_batch.dim(0), gt_.dim(1));
+    const std::int64_t rows = gt_.dim(1), n = v_batch.dim(1);
+    Tensor out({gt_.dim(0), n});
+    const float* pg = gt_.raw();
+    const float* pv = v_batch.raw();
+    for (std::int64_t j = 0; j < cols_used; ++j) {
+      float* oj = out.raw() + j * n;
+      const float* grow = pg + j * rows;
+      for (std::int64_t i = 0; i < rows_used; ++i) {
+        const float g = grow[i];
+        if (g == 0.0f) continue;
+        const float* vi = pv + i * n;
+        for (std::int64_t k = 0; k < n; ++k) oj[k] += g * vi[k];
+      }
+    }
+    return out;
+  }
+
+ private:
+  Tensor gt_;  // (cols, rows)
+};
+
+}  // namespace
+
+std::unique_ptr<ProgrammedXbar> IdealXbarModel::program(const Tensor& g) const {
+  validate_conductances(g, cfg_);
+  return std::make_unique<IdealProgrammed>(g);
+}
+
+Tensor ideal_mvm(const Tensor& g, const Tensor& v) {
+  return matvec(transpose2d(g), v);
+}
+
+Tensor ideal_mvm_batch(const Tensor& g, const Tensor& v_batch) {
+  return matmul(transpose2d(g), v_batch);
+}
+
+}  // namespace nvm::xbar

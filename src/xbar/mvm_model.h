@@ -1,0 +1,77 @@
+// Crossbar MVM model interface.
+//
+// Mirrors real deployment: a conductance matrix is *programmed* once,
+// yielding a ProgrammedXbar handle that can evaluate many input vectors.
+// Programming is where model-specific precomputation happens (column
+// conductance sums, surrogate feature normalizers, ...).
+//
+// Conventions: g is (rows, cols) in siemens with entries in
+// [g_off, g_on]; v is (rows) in volts with entries in [0, v_read];
+// the result is (cols) column currents in amps.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+#include "xbar/config.h"
+
+namespace nvm::xbar {
+
+/// A conductance matrix resident on a (model of a) crossbar.
+class ProgrammedXbar {
+ public:
+  virtual ~ProgrammedXbar() = default;
+
+  /// Single-vector MVM: (rows) -> (cols).
+  virtual Tensor mvm(const Tensor& v) = 0;
+
+  /// Batched MVM: v_batch is (rows, n) -> (cols, n). Default loops mvm().
+  virtual Tensor mvm_batch(const Tensor& v_batch);
+
+  /// Batched MVM with an activity hint for partially-used tiles: rows
+  /// beyond `rows_used` are guaranteed to carry zero volts and columns
+  /// beyond `cols_used` will never be read (their outputs may be left
+  /// zero). Models may exploit this to skip arithmetic whose contribution
+  /// is exactly zero; the physics (column loading by unused g_off devices)
+  /// is unchanged because programmed state already includes them.
+  /// Default ignores the hint.
+  virtual Tensor mvm_batch_active(const Tensor& v_batch,
+                                  std::int64_t rows_used,
+                                  std::int64_t cols_used);
+};
+
+/// Factory for programmed crossbars of one electrical configuration.
+class MvmModel {
+ public:
+  virtual ~MvmModel() = default;
+
+  /// Programs `g` onto a crossbar; g must be (rows, cols) within config
+  /// conductance bounds (validated).
+  virtual std::unique_ptr<ProgrammedXbar> program(const Tensor& g) const = 0;
+
+  virtual const CrossbarConfig& config() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Validates shape and conductance range of a matrix to be programmed.
+void validate_conductances(const Tensor& g, const CrossbarConfig& cfg);
+
+/// Exact I_j = sum_i V_i * G_ij — "accurate digital" reference.
+class IdealXbarModel final : public MvmModel {
+ public:
+  explicit IdealXbarModel(CrossbarConfig cfg) : cfg_(std::move(cfg)) {}
+
+  std::unique_ptr<ProgrammedXbar> program(const Tensor& g) const override;
+  const CrossbarConfig& config() const override { return cfg_; }
+  std::string name() const override { return "ideal"; }
+
+ private:
+  CrossbarConfig cfg_;
+};
+
+/// Ideal MVM as a free function (used by models to compute I_ideal).
+Tensor ideal_mvm(const Tensor& g, const Tensor& v);
+Tensor ideal_mvm_batch(const Tensor& g, const Tensor& v_batch);
+
+}  // namespace nvm::xbar

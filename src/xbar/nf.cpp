@@ -1,0 +1,42 @@
+#include "xbar/nf.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "xbar/geniex.h"
+
+namespace nvm::xbar {
+
+NfResult measure_nf(const MvmModel& model, const NfOptions& opt) {
+  const CrossbarConfig& cfg = model.config();
+  Rng rng(opt.seed);
+  const double floor = opt.min_ideal_frac * cfg.i_scale();
+
+  double sum = 0.0, sum_sq = 0.0;
+  std::int64_t n = 0;
+  for (std::int64_t s = 0; s < opt.samples; ++s) {
+    Tensor g = sample_conductances(cfg, rng);
+    Tensor v = sample_voltages(cfg, rng);
+    Tensor i_ideal = ideal_mvm(g, v);
+    auto programmed = model.program(g);
+    Tensor i_ni = programmed->mvm(v);
+    NVM_CHECK_EQ(i_ni.numel(), cfg.cols);
+    for (std::int64_t j = 0; j < cfg.cols; ++j) {
+      if (i_ideal[j] < floor) continue;
+      const double rel = (i_ideal[j] - i_ni[j]) / i_ideal[j];
+      sum += rel;
+      sum_sq += rel * rel;
+      ++n;
+    }
+  }
+  NfResult out;
+  out.columns_measured = n;
+  if (n > 0) {
+    out.nf = sum / n;
+    const double var = sum_sq / n - out.nf * out.nf;
+    out.nf_stddev = std::sqrt(std::max(0.0, var));
+  }
+  return out;
+}
+
+}  // namespace nvm::xbar

@@ -1,0 +1,27 @@
+// Non-ideality factor measurement (paper §III-A):
+//   NF = Avg[(Ideal_Output - NonIdeal_Output) / Ideal_Output]
+// averaged over random (G, V) samples and over columns whose ideal output
+// is large enough for the ratio to be meaningful.
+#pragma once
+
+#include "xbar/mvm_model.h"
+
+namespace nvm::xbar {
+
+struct NfOptions {
+  std::int64_t samples = 64;    ///< random (G, V) pairs
+  double min_ideal_frac = 0.02; ///< skip columns with I_ideal below this
+                                ///< fraction of full scale
+  std::uint64_t seed = 3;
+};
+
+struct NfResult {
+  double nf = 0.0;       ///< mean relative deviation
+  double nf_stddev = 0.0;
+  std::int64_t columns_measured = 0;
+};
+
+/// Measures NF of `model` against the ideal dot product.
+NfResult measure_nf(const MvmModel& model, const NfOptions& opt = {});
+
+}  // namespace nvm::xbar

@@ -1,0 +1,46 @@
+#include "xbar/variation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nvm::xbar {
+
+VariationModel::VariationModel(std::shared_ptr<const MvmModel> base,
+                               VariationOptions opt)
+    : base_(std::move(base)), opt_(opt) {
+  NVM_CHECK(base_ != nullptr);
+  NVM_CHECK(opt_.write_sigma >= 0 && opt_.process_sigma >= 0);
+}
+
+std::string VariationModel::name() const {
+  return base_->name() + "+var(chip" + std::to_string(opt_.chip_seed) + ")";
+}
+
+Tensor VariationModel::perturb(const Tensor& g) const {
+  const CrossbarConfig& cfg = base_->config();
+  validate_conductances(g, cfg);
+  const float g_off = static_cast<float>(cfg.g_off());
+  const float g_on = static_cast<float>(cfg.g_on());
+  Tensor out = g;
+  // Device (i, j) of chip k gets its own stable random stream, so the same
+  // chip is identical across programmings while different chips differ.
+  Rng chip(0xC41B0000ULL ^ opt_.chip_seed);
+  for (std::int64_t i = 0; i < cfg.rows; ++i) {
+    for (std::int64_t j = 0; j < cfg.cols; ++j) {
+      Rng dev = chip.split(static_cast<std::uint64_t>(i * cfg.cols + j));
+      const double write = std::exp(opt_.write_sigma * dev.normal());
+      const double process = 1.0 + opt_.process_sigma * dev.normal();
+      float v = out.at(i, j) * static_cast<float>(write * process);
+      out.at(i, j) = std::clamp(v, g_off, g_on);
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<ProgrammedXbar> VariationModel::program(const Tensor& g) const {
+  return base_->program(perturb(g));
+}
+
+}  // namespace nvm::xbar

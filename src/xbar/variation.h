@@ -1,0 +1,48 @@
+// Device variation: per-chip conductance programming noise.
+//
+// Real NVM devices land near — not on — their target conductance
+// (write-and-verify leaves residual error), and the error pattern differs
+// die to die. The paper's discussion (§V) points out that such chip-to-chip
+// variation should further hinder the transferability of attacks crafted
+// on one piece of analog hardware to another; the extension bench
+// `bench_ext_chip_variation` measures exactly that with this model.
+//
+// VariationModel decorates any base MvmModel: program() first perturbs the
+// target conductances with deterministic, chip-seeded noise (so "chip 7"
+// always gets the same devices), then programs the perturbed matrix into
+// the base model. Two noise components:
+//   * lognormal multiplicative write error with sigma `write_sigma`
+//     (relative, ~5-15% for RRAM write-verify);
+//   * a per-device fixed offset drawn once per chip, modelling systematic
+//     local process variation, with relative sigma `process_sigma`.
+// Results are clamped back into [g_off, g_on] (the programmable range).
+#pragma once
+
+#include "xbar/mvm_model.h"
+
+namespace nvm::xbar {
+
+struct VariationOptions {
+  double write_sigma = 0.05;    ///< lognormal sigma of write error
+  double process_sigma = 0.03;  ///< relative sigma of per-device offset
+  std::uint64_t chip_seed = 1;  ///< identifies the physical die
+};
+
+class VariationModel final : public MvmModel {
+ public:
+  VariationModel(std::shared_ptr<const MvmModel> base, VariationOptions opt);
+
+  std::unique_ptr<ProgrammedXbar> program(const Tensor& g) const override;
+  const CrossbarConfig& config() const override { return base_->config(); }
+  std::string name() const override;
+
+  /// The perturbation applied to a target matrix (exposed for tests):
+  /// deterministic in (chip_seed, device position).
+  Tensor perturb(const Tensor& g) const;
+
+ private:
+  std::shared_ptr<const MvmModel> base_;
+  VariationOptions opt_;
+};
+
+}  // namespace nvm::xbar

@@ -1,0 +1,99 @@
+// CIFAR binary-format loader tests against synthesized record streams.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "data/cifar_loader.h"
+
+namespace nvm::data {
+namespace {
+
+/// Builds a CIFAR-10-format record with a solid pixel value.
+std::string make_record10(unsigned char label, unsigned char pixel) {
+  std::string rec(1 + 3072, static_cast<char>(pixel));
+  rec[0] = static_cast<char>(label);
+  return rec;
+}
+
+std::string make_record100(unsigned char coarse, unsigned char fine,
+                           unsigned char pixel) {
+  std::string rec(2 + 3072, static_cast<char>(pixel));
+  rec[0] = static_cast<char>(coarse);
+  rec[1] = static_cast<char>(fine);
+  return rec;
+}
+
+TEST(CifarLoader, ParsesCifar10Records) {
+  std::stringstream ss(make_record10(3, 255) + make_record10(7, 0) +
+                       make_record10(0, 128));
+  CifarBatch batch = load_cifar(ss, CifarFormat::kCifar10);
+  ASSERT_EQ(batch.images.size(), 3u);
+  EXPECT_EQ(batch.labels, (std::vector<std::int64_t>{3, 7, 0}));
+  EXPECT_EQ(batch.images[0].shape(), (Shape{3, 32, 32}));
+  EXPECT_FLOAT_EQ(batch.images[0][0], 1.0f);
+  EXPECT_FLOAT_EQ(batch.images[1][0], 0.0f);
+  EXPECT_NEAR(batch.images[2][0], 128.0f / 255.0f, 1e-6f);
+}
+
+TEST(CifarLoader, Cifar100FineAndCoarseLabels) {
+  std::stringstream fine_ss(make_record100(5, 42, 10));
+  CifarBatch fine = load_cifar(fine_ss, CifarFormat::kCifar100Fine);
+  ASSERT_EQ(fine.labels.size(), 1u);
+  EXPECT_EQ(fine.labels[0], 42);
+
+  std::stringstream coarse_ss(make_record100(5, 42, 10));
+  CifarBatch coarse = load_cifar(coarse_ss, CifarFormat::kCifar100Coarse);
+  EXPECT_EQ(coarse.labels[0], 5);
+}
+
+TEST(CifarLoader, MaxRecordsLimits) {
+  std::stringstream ss(make_record10(1, 1) + make_record10(2, 2) +
+                       make_record10(3, 3));
+  CifarBatch batch = load_cifar(ss, CifarFormat::kCifar10, 2);
+  EXPECT_EQ(batch.images.size(), 2u);
+}
+
+TEST(CifarLoader, TruncatedRecordThrows) {
+  std::string partial = make_record10(1, 1);
+  partial.resize(partial.size() - 100);
+  std::stringstream ss(partial);
+  EXPECT_THROW(load_cifar(ss, CifarFormat::kCifar10), CheckError);
+}
+
+TEST(CifarLoader, OutOfRangeLabelThrows) {
+  std::stringstream ss(make_record10(11, 1));  // CIFAR-10 labels are 0..9
+  EXPECT_THROW(load_cifar(ss, CifarFormat::kCifar10), CheckError);
+}
+
+TEST(CifarLoader, EmptyStreamGivesEmptyBatch) {
+  std::stringstream ss;
+  CifarBatch batch = load_cifar(ss, CifarFormat::kCifar10);
+  EXPECT_TRUE(batch.images.empty());
+}
+
+TEST(CifarLoader, MissingFileThrows) {
+  EXPECT_THROW(load_cifar_file("/nonexistent/cifar.bin",
+                               CifarFormat::kCifar10),
+               CheckError);
+}
+
+TEST(CifarLoader, PlanarChannelLayout) {
+  // First 1024 bytes are the R plane: make R=200, G=100, B=50.
+  std::string rec(1 + 3072, '\0');
+  rec[0] = 2;
+  for (int i = 0; i < 1024; ++i) {
+    rec[1 + i] = static_cast<char>(200);
+    rec[1 + 1024 + i] = static_cast<char>(100);
+    rec[1 + 2048 + i] = static_cast<char>(50);
+  }
+  std::stringstream ss(rec);
+  CifarBatch batch = load_cifar(ss, CifarFormat::kCifar10);
+  ASSERT_EQ(batch.images.size(), 1u);
+  EXPECT_NEAR(batch.images[0].at(0, 16, 16), 200.0f / 255, 1e-6f);
+  EXPECT_NEAR(batch.images[0].at(1, 16, 16), 100.0f / 255, 1e-6f);
+  EXPECT_NEAR(batch.images[0].at(2, 16, 16), 50.0f / 255, 1e-6f);
+}
+
+}  // namespace
+}  // namespace nvm::data

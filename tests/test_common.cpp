@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/file_cache.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+
+namespace nvm {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(NVM_CHECK(false, "ctx " << 42), CheckError);
+  try {
+    NVM_CHECK(1 == 2, "value=" << 7);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value=7"), std::string::npos);
+  }
+}
+
+TEST(Check, ComparisonMacros) {
+  NVM_CHECK_LT(1, 2);
+  NVM_CHECK_LE(2, 2);
+  NVM_CHECK_EQ(3, 3);
+  NVM_CHECK_GT(4, 3);
+  NVM_CHECK_GE(4, 4);
+  EXPECT_THROW(NVM_CHECK_LT(2, 1), CheckError);
+  EXPECT_THROW(NVM_CHECK_EQ(1, 2), CheckError);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) counts[rng.uniform_index(7)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, n / 7 - 800);
+    EXPECT_LT(c, n / 7 + 800);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, SplitStreamsIndependentAndStable) {
+  Rng parent(42);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  Rng c1_again = Rng(42).split(1);
+  EXPECT_EQ(c1.next(), c1_again.next());
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  rng.shuffle(v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(Rng, BernoulliRespectsP) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Serialize, RoundTripAllTypes) {
+  std::stringstream ss;
+  {
+    BinaryWriter w(ss);
+    w.write_u32(0xdeadbeef);
+    w.write_u64(1ull << 60);
+    w.write_i64(-12345);
+    w.write_f32(3.5f);
+    w.write_f64(-2.25);
+    w.write_string("hello world");
+    w.write_f32_vec({1.0f, -2.0f, 3.0f});
+    w.write_i64_vec({7, -8});
+  }
+  BinaryReader r(ss);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 1ull << 60);
+  EXPECT_EQ(r.read_i64(), -12345);
+  EXPECT_EQ(r.read_f32(), 3.5f);
+  EXPECT_EQ(r.read_f64(), -2.25);
+  EXPECT_EQ(r.read_string(), "hello world");
+  EXPECT_EQ(r.read_f32_vec(), (std::vector<float>{1.0f, -2.0f, 3.0f}));
+  EXPECT_EQ(r.read_i64_vec(), (std::vector<std::int64_t>{7, -8}));
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  std::stringstream ss;
+  {
+    BinaryWriter w(ss);
+    w.write_u32(1);
+  }
+  BinaryReader r(ss);
+  (void)r.read_u32();
+  EXPECT_THROW(r.read_u64(), CheckError);
+}
+
+class FileCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("nvm_cache_test_" + std::to_string(::getpid()));
+    ::setenv("NVMROBUST_CACHE_DIR", dir_.c_str(), 1);
+  }
+  void TearDown() override {
+    ::unsetenv("NVMROBUST_CACHE_DIR");
+    std::filesystem::remove_all(dir_);
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileCacheTest, StoreThenLoad) {
+  cache_store("entry.bin", "tag1",
+              [](BinaryWriter& w) { w.write_i64(99); });
+  std::int64_t got = 0;
+  const bool ok = cache_load("entry.bin", "tag1",
+                             [&](BinaryReader& r) { got = r.read_i64(); });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(got, 99);
+}
+
+TEST_F(FileCacheTest, TagMismatchInvalidates) {
+  cache_store("entry.bin", "tag1",
+              [](BinaryWriter& w) { w.write_i64(99); });
+  const bool ok =
+      cache_load("entry.bin", "tag2", [](BinaryReader&) { FAIL(); });
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(FileCacheTest, MissingEntryReturnsFalse) {
+  EXPECT_FALSE(cache_load("nope.bin", "t", [](BinaryReader&) { FAIL(); }));
+}
+
+TEST(Env, ScaledSelectsByFlag) {
+  ::unsetenv("REPRO_FULL");
+  EXPECT_EQ(scaled(10, 100), 10);
+  ::setenv("REPRO_FULL", "1", 1);
+  EXPECT_EQ(scaled(10, 100), 100);
+  ::unsetenv("REPRO_FULL");
+}
+
+TEST(Env, EnvIntParsesAndFallsBack) {
+  ::setenv("NVM_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("NVM_TEST_INT", 7), 42);
+  ::unsetenv("NVM_TEST_INT");
+  EXPECT_EQ(env_int("NVM_TEST_INT", 7), 7);
+  ::setenv("NVM_TEST_INT", "junk", 1);
+  EXPECT_EQ(env_int("NVM_TEST_INT", 7), 7);
+  ::unsetenv("NVM_TEST_INT");
+}
+
+}  // namespace
+}  // namespace nvm

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+#include <cmath>
+
+#include "defense/defenses.h"
+#include "nn/resnet.h"
+
+namespace nvm::defense {
+namespace {
+
+TEST(BitWidthReduction, QuantizesToLevels) {
+  Tensor img({5}, {0.0f, 0.1f, 0.49f, 0.51f, 1.0f});
+  Tensor q = reduce_bit_width(img, 1);  // only {0, 1}
+  EXPECT_EQ(q[0], 0.0f);
+  EXPECT_EQ(q[1], 0.0f);
+  EXPECT_EQ(q[2], 0.0f);
+  EXPECT_EQ(q[3], 1.0f);
+  EXPECT_EQ(q[4], 1.0f);
+}
+
+TEST(BitWidthReduction, FourBitGridAndIdempotence) {
+  Rng rng(1);
+  Tensor img = Tensor::uniform({3, 6, 6}, 0, 1, rng);
+  Tensor q = reduce_bit_width(img, 4);
+  for (std::int64_t i = 0; i < q.numel(); ++i) {
+    const float scaled = q[i] * 15.0f;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-5f);
+    EXPECT_NEAR(q[i], img[i], 1.0f / 30 + 1e-6f);  // half step
+  }
+  EXPECT_EQ(max_abs_diff(reduce_bit_width(q, 4), q), 0.0f);
+}
+
+TEST(BitWidthReduction, KillsSmallPerturbations) {
+  // Perturbations below half an LSB vanish — the defense mechanism.
+  Tensor img({4}, {0.2f, 0.4f, 0.6f, 0.8f});
+  Tensor pert = img;
+  pert += 0.01f;  // << half of 1/15
+  EXPECT_EQ(max_abs_diff(reduce_bit_width(img, 4), reduce_bit_width(pert, 4)),
+            0.0f);
+}
+
+TEST(Sap, ZeroActivationsPassThrough) {
+  Rng rng(2);
+  Tensor zeros({3, 4, 4});
+  Tensor out = sap_prune(zeros, 1.0f, rng);
+  EXPECT_EQ(out.abs_max(), 0.0f);
+}
+
+TEST(Sap, KeptValuesAreRescaled) {
+  Rng rng(3);
+  Tensor acts({8}, {1, 2, 3, 4, 0, 6, 7, 8});
+  Tensor out = sap_prune(acts, 1.0f, rng);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    if (out[i] != 0.0f) {
+      EXPECT_GE(out[i], acts[i]);  // 1/keep_p >= 1
+    }
+  }
+}
+
+TEST(Sap, ApproximatelyUnbiasedOnAverage) {
+  Rng rng(4);
+  Tensor acts({16});
+  for (auto& v : acts.data()) v = static_cast<float>(rng.uniform(0.1, 1.0));
+  Tensor mean_out({16});
+  const int trials = 3000;
+  for (int t = 0; t < trials; ++t)
+    mean_out += sap_prune(acts, 1.0f, rng);
+  mean_out *= 1.0f / trials;
+  for (std::int64_t i = 0; i < 16; ++i)
+    EXPECT_NEAR(mean_out[i], acts[i], 0.12f * acts[i] + 0.02f);
+}
+
+TEST(Sap, HigherMagnitudeKeptMoreOften) {
+  Rng rng(5);
+  Tensor acts({2}, {0.05f, 2.0f});
+  int kept_small = 0, kept_big = 0;
+  for (int t = 0; t < 500; ++t) {
+    Tensor out = sap_prune(acts, 1.0f, rng);
+    kept_small += (out[0] != 0.0f);
+    kept_big += (out[1] != 0.0f);
+  }
+  EXPECT_GT(kept_big, kept_small * 3);
+}
+
+TEST(Sap, AttachesToConvLayersOnly) {
+  Rng rng(6);
+  nn::ResnetCifarSpec spec;
+  spec.blocks_per_stage = 1;
+  spec.widths = {4, 4, 4};
+  spec.num_classes = 2;
+  nn::Network net = nn::make_resnet_cifar(spec, rng);
+  auto handle = attach_sap(net, SapOptions{});
+  int conv_hooks = 0, other_hooks = 0;
+  nn::visit_layers(net.root(), [&](nn::Layer& l) {
+    const bool is_conv = dynamic_cast<nn::Conv2d*>(&l) != nullptr;
+    if (l.has_eval_hook()) (is_conv ? conv_hooks : other_hooks)++;
+  });
+  EXPECT_GT(conv_hooks, 0);
+  EXPECT_EQ(other_hooks, 0);
+  // Stochastic at eval: two forward passes differ.
+  Tensor x = Tensor::uniform({3, 8, 8}, 0, 1, rng);
+  Tensor a = net.forward(x, nn::Mode::Eval);
+  Tensor b = net.forward(x, nn::Mode::Eval);
+  EXPECT_GT(max_abs_diff(a, b), 0.0f);
+  // Detach restores determinism.
+  net.set_conv_eval_hooks(nullptr);
+  Tensor c = net.forward(x, nn::Mode::Eval);
+  Tensor d = net.forward(x, nn::Mode::Eval);
+  EXPECT_EQ(max_abs_diff(c, d), 0.0f);
+}
+
+TEST(RandomPad, OutputShapeAndContentBounds) {
+  Rng rng(7);
+  Tensor img = Tensor::uniform({3, 24, 24}, 0, 1, rng);
+  RandomPadOptions opt;
+  for (int t = 0; t < 10; ++t) {
+    Tensor out = random_resize_pad(img, opt, rng);
+    EXPECT_EQ(out.dim(0), 3);
+    EXPECT_EQ(out.dim(1), opt.canvas);
+    EXPECT_EQ(out.dim(2), opt.canvas);
+    EXPECT_GE(out.min(), 0.0f);
+    EXPECT_LE(out.max(), 1.0f);
+  }
+}
+
+TEST(RandomPad, IsStochastic) {
+  Rng rng(8);
+  Tensor img = Tensor::uniform({3, 24, 24}, 0, 1, rng);
+  RandomPadOptions opt;
+  Tensor a = random_resize_pad(img, opt, rng);
+  Tensor b = random_resize_pad(img, opt, rng);
+  EXPECT_GT(max_abs_diff(a, b), 0.0f);
+}
+
+TEST(RandomPad, InvalidConfigThrows) {
+  Rng rng(9);
+  Tensor img({3, 8, 8});
+  RandomPadOptions opt;
+  opt.resize_lo = 20;
+  opt.resize_hi = 40;
+  opt.canvas = 30;  // resize_hi > canvas
+  EXPECT_THROW(random_resize_pad(img, opt, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace nvm::defense

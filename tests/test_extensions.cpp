@@ -1,0 +1,170 @@
+// Tests for the extension modules: chip variation, cost model, and the
+// random-noise attack control.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include "attack/noise.h"
+#include "nn/resnet.h"
+#include "puma/cost_model.h"
+#include "xbar/geniex.h"
+#include "xbar/variation.h"
+
+namespace nvm {
+namespace {
+
+xbar::CrossbarConfig var_cfg() {
+  xbar::CrossbarConfig cfg = xbar::xbar_32x32_100k();
+  cfg.rows = cfg.cols = 8;
+  return cfg;
+}
+
+TEST(Variation, DeterministicPerChip) {
+  auto base = std::make_shared<xbar::IdealXbarModel>(var_cfg());
+  xbar::VariationOptions opt;
+  opt.chip_seed = 7;
+  xbar::VariationModel chip7(base, opt);
+  xbar::VariationModel chip7_again(base, opt);
+  Rng rng(1);
+  Tensor g = xbar::sample_conductances(var_cfg(), rng);
+  EXPECT_EQ(max_abs_diff(chip7.perturb(g), chip7_again.perturb(g)), 0.0f);
+}
+
+TEST(Variation, DifferentChipsDiffer) {
+  auto base = std::make_shared<xbar::IdealXbarModel>(var_cfg());
+  xbar::VariationOptions a, b;
+  a.chip_seed = 1;
+  b.chip_seed = 2;
+  Rng rng(2);
+  Tensor g = xbar::sample_conductances(var_cfg(), rng);
+  EXPECT_GT(max_abs_diff(xbar::VariationModel(base, a).perturb(g),
+                         xbar::VariationModel(base, b).perturb(g)),
+            0.0f);
+}
+
+TEST(Variation, PerturbationStaysInProgrammableRange) {
+  const auto cfg = var_cfg();
+  auto base = std::make_shared<xbar::IdealXbarModel>(cfg);
+  xbar::VariationOptions opt;
+  opt.write_sigma = 0.3;  // deliberately large
+  xbar::VariationModel chip(base, opt);
+  Rng rng(3);
+  for (int t = 0; t < 8; ++t) {
+    Tensor g = xbar::sample_conductances(cfg, rng);
+    Tensor p = chip.perturb(g);
+    EXPECT_GE(p.min(), cfg.g_off() * (1 - 1e-6));
+    EXPECT_LE(p.max(), cfg.g_on() * (1 + 1e-6));
+  }
+}
+
+TEST(Variation, PerturbationScaleTracksSigma) {
+  const auto cfg = var_cfg();
+  auto base = std::make_shared<xbar::IdealXbarModel>(cfg);
+  Rng rng(4);
+  Tensor g = Tensor::full({8, 8}, static_cast<float>(0.5 * (cfg.g_on() + cfg.g_off())));
+  xbar::VariationOptions small, big;
+  small.write_sigma = 0.02;
+  small.process_sigma = 0.0;
+  big.write_sigma = 0.2;
+  big.process_sigma = 0.0;
+  const float dev_small =
+      max_abs_diff(xbar::VariationModel(base, small).perturb(g), g);
+  const float dev_big =
+      max_abs_diff(xbar::VariationModel(base, big).perturb(g), g);
+  EXPECT_GT(dev_big, dev_small * 3);
+}
+
+TEST(Variation, MvmFlowsThroughBaseModel) {
+  const auto cfg = var_cfg();
+  auto base = std::make_shared<xbar::IdealXbarModel>(cfg);
+  xbar::VariationOptions opt;
+  opt.write_sigma = 0.05;
+  xbar::VariationModel chip(base, opt);
+  Rng rng(5);
+  Tensor g = xbar::sample_conductances(cfg, rng);
+  Tensor v = xbar::sample_voltages(cfg, rng);
+  Tensor got = chip.program(g)->mvm(v);
+  Tensor expected = xbar::ideal_mvm(chip.perturb(g), v);
+  EXPECT_LT(max_abs_diff(got, expected), 1e-6f * cfg.i_scale());
+}
+
+nn::Network tiny_net() {
+  Rng rng(6);
+  nn::ResnetCifarSpec spec;
+  spec.blocks_per_stage = 1;
+  spec.widths = {4, 4, 8};
+  spec.num_classes = 2;
+  return nn::make_resnet_cifar(spec, rng);
+}
+
+TEST(CostModel, CountsEveryMvmLayer) {
+  nn::Network net = tiny_net();
+  Tensor sample({3, 8, 8});
+  puma::CostReport report = puma::estimate_cost(
+      net, sample, xbar::xbar_64x64_100k(), puma::HwConfig{});
+  // stem conv + 3 blocks x 2 convs + 1 projection pair + linear = 9 GEMMs.
+  EXPECT_GE(report.layers.size(), 8u);
+  EXPECT_GT(report.total_energy_nj, 0.0);
+  EXPECT_GT(report.total_latency_us, 0.0);
+  EXPECT_GT(report.mean_utilization, 0.0);
+  EXPECT_LE(report.mean_utilization, 1.0);
+}
+
+TEST(CostModel, PassCountScalesWithSlicesAndStreams) {
+  nn::Network net = tiny_net();
+  Tensor sample({3, 8, 8});
+  const auto cfg = xbar::xbar_64x64_100k();
+  puma::HwConfig fine;  // 2 slices x 2 streams
+  puma::HwConfig coarse;
+  coarse.slice_bits = 6;   // 1 slice
+  coarse.stream_bits = 6;  // 1 stream
+  auto r_fine = puma::estimate_cost(net, sample, cfg, fine);
+  auto r_coarse = puma::estimate_cost(net, sample, cfg, coarse);
+  EXPECT_EQ(r_fine.total_crossbar_reads, 4 * r_coarse.total_crossbar_reads);
+}
+
+TEST(CostModel, SmallerArraysNeedMoreTiles) {
+  nn::Network net = tiny_net();
+  Tensor sample({3, 8, 8});
+  xbar::CrossbarConfig big = xbar::xbar_64x64_100k();
+  xbar::CrossbarConfig small = xbar::xbar_32x32_100k();
+  auto r_big = puma::estimate_cost(net, sample, big, puma::HwConfig{});
+  auto r_small = puma::estimate_cost(net, sample, small, puma::HwConfig{});
+  EXPECT_GT(r_small.total_crossbar_reads, r_big.total_crossbar_reads);
+}
+
+TEST(CostModel, LeavesNetworkRestored) {
+  nn::Network net = tiny_net();
+  Tensor sample({3, 8, 8});
+  Tensor before = net.forward(sample, nn::Mode::Eval);
+  (void)puma::estimate_cost(net, sample, xbar::xbar_64x64_100k(),
+                            puma::HwConfig{});
+  Tensor after = net.forward(sample, nn::Mode::Eval);
+  EXPECT_EQ(max_abs_diff(before, after), 0.0f);
+}
+
+TEST(NoiseControl, RespectsBudgetAndRange) {
+  Rng rng(7);
+  Tensor x = Tensor::uniform({3, 6, 6}, 0.0f, 1.0f, rng);
+  for (float eps : {0.02f, 0.1f}) {
+    Tensor s = attack::random_sign_noise(x, eps, rng);
+    Tensor u = attack::random_uniform_noise(x, eps, rng);
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      EXPECT_LE(std::abs(s[i] - x[i]), eps + 1e-6f);
+      EXPECT_LE(std::abs(u[i] - x[i]), eps + 1e-6f);
+      EXPECT_GE(s[i], 0.0f);
+      EXPECT_LE(s[i], 1.0f);
+    }
+  }
+}
+
+TEST(NoiseControl, SignNoiseSaturatesBudget) {
+  Rng rng(8);
+  Tensor x = Tensor::full({3, 4, 4}, 0.5f);
+  Tensor s = attack::random_sign_noise(x, 0.1f, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    EXPECT_NEAR(std::abs(s[i] - x[i]), 0.1f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace nvm

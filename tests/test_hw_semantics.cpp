@@ -1,0 +1,170 @@
+// Deployment-semantics tests: compensation paths, state restoration under
+// every option combination, and interaction with defenses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+#include "defense/defenses.h"
+#include "nn/resnet.h"
+#include "nn/trainer.h"
+#include "puma/hw_network.h"
+#include "test_util.h"
+#include "xbar/fast_noise.h"
+
+namespace nvm {
+namespace {
+
+struct Fixture {
+  std::vector<Tensor> images;
+  std::vector<std::int64_t> labels;
+  nn::Network net;
+  std::shared_ptr<xbar::FastNoiseModel> model;
+};
+
+Fixture& fixture() {
+  static Fixture* f = [] {
+    Rng rng(61);
+    auto* fx = new Fixture{{}, {}, [] {
+                             Rng r(62);
+                             nn::ResnetCifarSpec spec;
+                             spec.blocks_per_stage = 1;
+                             spec.widths = {4, 8, 8};
+                             spec.num_classes = 2;
+                             return nn::make_resnet_cifar(spec, r);
+                           }(),
+                           nullptr};
+    testutil::make_orientation_toy(fx->images, fx->labels, 40, rng);
+    nn::train(fx->net, fx->images, fx->labels, testutil::toy_train_config());
+    // FastNoise (not GENIEx) keeps these tests fast and fit-free.
+    fx->model = std::make_shared<xbar::FastNoiseModel>(xbar::xbar_32x32_100k());
+    return fx;
+  }();
+  return *f;
+}
+
+std::vector<Tensor> calib() {
+  Fixture& f = fixture();
+  return {f.images.begin(), f.images.begin() + 6};
+}
+
+TEST(HwSemantics, GainTrimReportsPerLayerGains) {
+  Fixture& f = fixture();
+  puma::HwConfig hw;
+  hw.gain_trim = true;
+  puma::HwDeployment dep(f.net, f.model, calib(), hw);
+  ASSERT_EQ(dep.stats().output_gains.size(),
+            static_cast<std::size_t>(dep.stats().mvm_layers));
+  for (float g : dep.stats().output_gains) {
+    EXPECT_GE(g, 0.5f);
+    EXPECT_LE(g, 2.0f);
+  }
+}
+
+TEST(HwSemantics, GainTrimImprovesAgreementWithDigital) {
+  Fixture& f = fixture();
+  Tensor x = f.images[3];
+  Tensor digital = f.net.forward(x, nn::Mode::Eval);
+  float err_plain, err_trim;
+  {
+    puma::HwDeployment dep(f.net, f.model, calib());
+    err_plain = max_abs_diff(f.net.forward(x, nn::Mode::Eval), digital);
+  }
+  {
+    puma::HwConfig hw;
+    hw.gain_trim = true;
+    puma::HwDeployment dep(f.net, f.model, calib(), hw);
+    err_trim = max_abs_diff(f.net.forward(x, nn::Mode::Eval), digital);
+  }
+  EXPECT_LT(err_trim, err_plain);
+}
+
+class RestoreUnderOptions
+    : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(RestoreUnderOptions, DeploymentAlwaysRestoresExactly) {
+  const auto [trim, reest] = GetParam();
+  Fixture& f = fixture();
+  Tensor x = f.images[5];
+  Tensor before = f.net.forward(x, nn::Mode::Eval);
+  {
+    puma::HwConfig hw;
+    hw.gain_trim = trim;
+    hw.bn_reestimate = reest;
+    puma::HwDeployment dep(f.net, f.model, calib(), hw);
+    (void)f.net.forward(x, nn::Mode::Eval);
+  }
+  Tensor after = f.net.forward(x, nn::Mode::Eval);
+  EXPECT_EQ(max_abs_diff(before, after), 0.0f)
+      << "trim=" << trim << " reest=" << reest;
+}
+
+INSTANTIATE_TEST_SUITE_P(OptionGrid, RestoreUnderOptions,
+                         ::testing::Values(std::pair{false, false},
+                                           std::pair{true, false},
+                                           std::pair{false, true},
+                                           std::pair{true, true}));
+
+TEST(HwSemantics, BnReestimationChangesRunningStatsDuringDeployment) {
+  Fixture& f = fixture();
+  nn::BatchNorm2d* bn = nullptr;
+  nn::visit_layers(f.net.root(), [&](nn::Layer& l) {
+    if (bn == nullptr) bn = dynamic_cast<nn::BatchNorm2d*>(&l);
+  });
+  ASSERT_NE(bn, nullptr);
+  Tensor mean_before = bn->running_mean();
+  {
+    puma::HwConfig hw;
+    hw.bn_reestimate = true;
+    puma::HwDeployment dep(f.net, f.model, calib(), hw);
+    EXPECT_GT(max_abs_diff(mean_before, bn->running_mean()), 0.0f);
+  }
+  // Restored on teardown.
+  EXPECT_EQ(max_abs_diff(mean_before, bn->running_mean()), 0.0f);
+}
+
+TEST(HwSemantics, DefenseHooksComposeWithDeployment) {
+  Fixture& f = fixture();
+  puma::HwDeployment dep(f.net, f.model, calib());
+  auto sap = defense::attach_sap(f.net, defense::SapOptions{});
+  // SAP on top of crossbar execution: still functional, still stochastic.
+  Tensor a = f.net.forward(f.images[0], nn::Mode::Eval);
+  Tensor b = f.net.forward(f.images[0], nn::Mode::Eval);
+  EXPECT_GT(max_abs_diff(a, b), 0.0f);
+  f.net.set_conv_eval_hooks(nullptr);
+}
+
+TEST(HwSemantics, EngineNameIdentifiesStack) {
+  Fixture& f = fixture();
+  puma::CrossbarMvmEngine engine(f.model, puma::HwConfig{}, 1.0f);
+  EXPECT_NE(engine.name().find("32x32_100k"), std::string::npos);
+  EXPECT_NE(engine.name().find("fast_noise"), std::string::npos);
+}
+
+TEST(HwSemantics, DeploymentAccuracyReasonableOnToyTask) {
+  Fixture& f = fixture();
+  const float ideal = nn::evaluate_accuracy(f.net, f.images, f.labels);
+  puma::HwDeployment dep(f.net, f.model, calib());
+  const float hw = nn::evaluate_accuracy(f.net, f.images, f.labels);
+  EXPECT_GT(ideal, 90.0f);
+  EXPECT_GT(hw, ideal - 20.0f);
+}
+
+TEST(HwSemantics, TwoSequentialDeploymentsAreIndependent) {
+  Fixture& f = fixture();
+  Tensor x = f.images[7];
+  Tensor first, second;
+  {
+    puma::HwDeployment dep(f.net, f.model, calib());
+    first = f.net.forward(x, nn::Mode::Eval);
+  }
+  {
+    puma::HwDeployment dep(f.net, f.model, calib());
+    second = f.net.forward(x, nn::Mode::Eval);
+  }
+  EXPECT_EQ(max_abs_diff(first, second), 0.0f);
+}
+
+}  // namespace
+}  // namespace nvm

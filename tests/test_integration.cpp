@@ -1,0 +1,144 @@
+// End-to-end integration: train -> deploy on a non-ideal crossbar ->
+// attack, exercising the same paths the paper's experiments use, at toy
+// scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+#include "attack/pgd.h"
+#include "core/evaluator.h"
+#include "nn/resnet.h"
+#include "nn/trainer.h"
+#include "test_util.h"
+#include "puma/hw_network.h"
+#include "xbar/geniex.h"
+
+namespace nvm {
+namespace {
+
+struct Toy {
+  std::vector<Tensor> images;
+  std::vector<std::int64_t> labels;
+  nn::Network net;
+};
+
+/// Trains a tiny two-class net once for the whole binary.
+Toy& toy() {
+  static Toy* instance = [] {
+    Rng rng(31);
+    auto* t = new Toy{{}, {}, [] {
+                        Rng r(32);
+                        nn::ResnetCifarSpec spec;
+                        spec.blocks_per_stage = 1;
+                        spec.widths = {4, 8, 8};
+                        spec.num_classes = 2;
+                        return nn::make_resnet_cifar(spec, r);
+                      }()};
+    testutil::make_orientation_toy(t->images, t->labels, 48, rng);
+    nn::train(t->net, t->images, t->labels, testutil::toy_train_config());
+    return t;
+  }();
+  return *instance;
+}
+
+std::shared_ptr<xbar::GeniexModel> test_model() {
+  static auto model = [] {
+    xbar::CrossbarConfig cfg = xbar::xbar_32x32_100k();
+    cfg.rows = cfg.cols = 16;
+    cfg.name = "16x16_it";
+    xbar::GeniexTrainOptions opt;
+    opt.solver_samples = 100;
+    xbar::GeniexFit fit = xbar::GeniexModel::fit(cfg, opt);
+    return std::make_shared<xbar::GeniexModel>(cfg, std::move(fit.mlp));
+  }();
+  return model;
+}
+
+TEST(Integration, DeploymentKeepsMostCleanAccuracy) {
+  Toy& t = toy();
+  const float ideal_acc = nn::evaluate_accuracy(t.net, t.images, t.labels);
+  EXPECT_GT(ideal_acc, 90.0f);
+  std::vector<Tensor> calib(t.images.begin(), t.images.begin() + 8);
+  puma::HwDeployment dep(t.net, test_model(), calib);
+  const float hw_acc = nn::evaluate_accuracy(t.net, t.images, t.labels);
+  EXPECT_GT(hw_acc, ideal_acc - 25.0f);
+}
+
+TEST(Integration, DeploymentRestoresExactly) {
+  Toy& t = toy();
+  Tensor x = t.images[0];
+  Tensor before = t.net.forward(x, nn::Mode::Eval);
+  {
+    std::vector<Tensor> calib(t.images.begin(), t.images.begin() + 4);
+    puma::HwDeployment dep(t.net, test_model(), calib);
+    Tensor during = t.net.forward(x, nn::Mode::Eval);
+    EXPECT_GT(max_abs_diff(before, during), 0.0f);  // actually non-ideal
+  }
+  Tensor after = t.net.forward(x, nn::Mode::Eval);
+  EXPECT_EQ(max_abs_diff(before, after), 0.0f);
+}
+
+TEST(Integration, DeployStatsReportLayersAndScales) {
+  Toy& t = toy();
+  std::vector<Tensor> calib(t.images.begin(), t.images.begin() + 4);
+  puma::HwDeployment dep(t.net, test_model(), calib);
+  // Stem conv + 3 residual blocks (2 convs, one projection pair) + linear.
+  EXPECT_GE(dep.stats().mvm_layers, 8);
+  for (float s : dep.stats().input_scales) EXPECT_GT(s, 0.0f);
+}
+
+TEST(Integration, HardwareInLoopGradientIsUsable) {
+  // Paper §III-C2: forward on crossbar, backward ideal at the recorded
+  // activations. The resulting input gradient must be finite, non-zero,
+  // and correlated with the fully ideal gradient.
+  Toy& t = toy();
+  attack::NetworkAttackModel model(t.net);
+  Tensor x = t.images[1];
+  Tensor g_ideal = model.loss_input_grad(x, t.labels[1]);
+
+  std::vector<Tensor> calib(t.images.begin(), t.images.begin() + 4);
+  puma::HwDeployment dep(t.net, test_model(), calib);
+  Tensor g_hw = model.loss_input_grad(x, t.labels[1]);
+
+  ASSERT_TRUE(g_hw.same_shape(g_ideal));
+  EXPECT_GT(g_hw.abs_max(), 0.0f);
+  for (std::int64_t i = 0; i < g_hw.numel(); ++i)
+    ASSERT_TRUE(std::isfinite(g_hw[i]));
+  double dot = 0, na = 0, nb = 0;
+  for (std::int64_t i = 0; i < g_hw.numel(); ++i) {
+    dot += double(g_hw[i]) * g_ideal[i];
+    na += double(g_hw[i]) * g_hw[i];
+    nb += double(g_ideal[i]) * g_ideal[i];
+  }
+  const double cosine = dot / std::sqrt(na * nb + 1e-30);
+  EXPECT_GT(cosine, 0.3) << "HIL gradient should correlate with ideal";
+  EXPECT_LT(cosine, 0.9999) << "but not be identical";
+}
+
+TEST(Integration, PgdOnDeployedNetworkStaysInBounds) {
+  Toy& t = toy();
+  std::vector<Tensor> calib(t.images.begin(), t.images.begin() + 4);
+  puma::HwDeployment dep(t.net, test_model(), calib);
+  attack::NetworkAttackModel model(t.net);
+  attack::PgdOptions opt;
+  opt.epsilon = 0.05f;
+  opt.iters = 3;
+  Tensor adv = attack::pgd_attack(model, t.images[2], t.labels[2], opt);
+  for (std::int64_t i = 0; i < adv.numel(); ++i) {
+    EXPECT_LE(std::abs(adv[i] - t.images[2][i]), opt.epsilon + 1e-6f);
+    EXPECT_GE(adv[i], 0.0f);
+    EXPECT_LE(adv[i], 1.0f);
+  }
+}
+
+TEST(Integration, DynamicInputScalingWorksWithoutCalibration) {
+  Toy& t = toy();
+  puma::HwDeployment dep(t.net, test_model(), {});
+  const float acc = nn::evaluate_accuracy(t.net, t.images, t.labels);
+  EXPECT_GT(acc, 50.0f);  // functional, if less accurate
+}
+
+}  // namespace
+}  // namespace nvm

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+#include <sstream>
+
+#include "nn/loss.h"
+#include "nn/resnet.h"
+#include "nn/trainer.h"
+#include "test_util.h"
+
+namespace nvm::nn {
+namespace {
+
+TEST(Softmax, NormalizedAndStable) {
+  Tensor logits({3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor p = softmax(logits);
+  EXPECT_NEAR(p.sum(), 1.0f, 1e-5f);
+  EXPECT_NEAR(p[0], 1.0f / 3, 1e-5f);
+}
+
+TEST(Softmax, OrderingPreserved) {
+  Tensor logits({3}, {1.0f, 3.0f, 2.0f});
+  Tensor p = softmax(logits);
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(CrossEntropy, GradientIsSoftmaxMinusOneHot) {
+  Tensor logits({3}, {0.5f, -0.2f, 1.0f});
+  LossGrad lg = cross_entropy(logits, 2);
+  Tensor p = softmax(logits);
+  EXPECT_NEAR(lg.grad_logits[0], p[0], 1e-6f);
+  EXPECT_NEAR(lg.grad_logits[2], p[2] - 1.0f, 1e-6f);
+  EXPECT_NEAR(lg.loss, -std::log(p[2]), 1e-5f);
+}
+
+TEST(CrossEntropy, InvalidLabelThrows) {
+  Tensor logits({3});
+  EXPECT_THROW(cross_entropy(logits, 3), CheckError);
+  EXPECT_THROW(cross_entropy(logits, -1), CheckError);
+}
+
+TEST(CrossEntropySoft, MatchesHardOnOneHot) {
+  Tensor logits({4}, {0.1f, 0.9f, -0.4f, 0.2f});
+  Tensor one_hot({4}, {0, 0, 1, 0});
+  LossGrad soft = cross_entropy_soft(logits, one_hot);
+  LossGrad hard = cross_entropy(logits, 2);
+  EXPECT_NEAR(soft.loss, hard.loss, 1e-5f);
+  EXPECT_LT(max_abs_diff(soft.grad_logits, hard.grad_logits), 1e-6f);
+}
+
+TEST(Margin, SignMatchesClassification) {
+  Tensor logits({3}, {2.0f, 5.0f, 1.0f});
+  EXPECT_GT(margin(logits, 1), 0.0f);   // correctly classified
+  EXPECT_LT(margin(logits, 0), 0.0f);   // misclassified
+  EXPECT_NEAR(margin(logits, 1), 3.0f, 1e-6f);
+}
+
+TEST(Sgd, MovesAgainstGradient) {
+  Param p(Tensor({2}, {1.0f, -1.0f}));
+  p.decay = false;
+  SgdConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.0f;
+  cfg.weight_decay = 0.0f;
+  Sgd opt({&p}, cfg);
+  p.grad = Tensor({2}, {1.0f, -2.0f});
+  opt.step();
+  EXPECT_NEAR(p.value[0], 0.9f, 1e-6f);
+  EXPECT_NEAR(p.value[1], -0.8f, 1e-6f);
+  // Gradients are consumed.
+  EXPECT_EQ(p.grad.abs_max(), 0.0f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p(Tensor({1}, {0.0f}));
+  SgdConfig cfg;
+  cfg.lr = 1.0f;
+  cfg.momentum = 0.5f;
+  cfg.weight_decay = 0.0f;
+  Sgd opt({&p}, cfg);
+  p.grad = Tensor({1}, {1.0f});
+  opt.step();
+  EXPECT_NEAR(p.value[0], -1.0f, 1e-6f);
+  p.grad = Tensor({1}, {1.0f});
+  opt.step();  // velocity = 0.5*1 + 1 = 1.5
+  EXPECT_NEAR(p.value[0], -2.5f, 1e-6f);
+}
+
+TEST(Sgd, WeightDecayOnlyOnDecayParams) {
+  Param decayed(Tensor({1}, {1.0f}));
+  Param plain(Tensor({1}, {1.0f}), /*decay_flag=*/false);
+  SgdConfig cfg;
+  cfg.lr = 1.0f;
+  cfg.momentum = 0.0f;
+  cfg.weight_decay = 0.1f;
+  Sgd opt({&decayed, &plain}, cfg);
+  opt.step();
+  EXPECT_NEAR(decayed.value[0], 0.9f, 1e-6f);
+  EXPECT_NEAR(plain.value[0], 1.0f, 1e-6f);
+}
+
+TEST(Trainer, LearnsSeparableTask) {
+  Rng rng(21);
+  std::vector<Tensor> images;
+  std::vector<std::int64_t> labels;
+  testutil::make_orientation_toy(images, labels, 64, rng);
+
+  ResnetCifarSpec spec;
+  spec.blocks_per_stage = 1;
+  spec.widths = {4, 8, 8};
+  spec.num_classes = 2;
+  Network net = make_resnet_cifar(spec, rng);
+
+  TrainStats stats = train(net, images, labels, testutil::toy_train_config());
+  EXPECT_GT(stats.final_train_acc, 90.0f);
+  EXPECT_GT(evaluate_accuracy(net, images, labels), 90.0f);
+}
+
+TEST(Network, SaveLoadRoundTripPreservesOutputs) {
+  Rng rng(22);
+  ResnetCifarSpec spec;
+  spec.blocks_per_stage = 1;
+  spec.widths = {4, 4, 8};
+  spec.num_classes = 3;
+  Network net = make_resnet_cifar(spec, rng);
+  Tensor x = Tensor::uniform({3, 8, 8}, 0, 1, rng);
+  // Push some statistics into BN before saving.
+  (void)net.forward(x, Mode::Train);
+  Tensor before = net.forward(x, Mode::Eval);
+
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  net.save(w);
+
+  Rng rng2(99);  // different init
+  Network net2 = make_resnet_cifar(spec, rng2);
+  BinaryReader r(ss);
+  net2.load(r);
+  Tensor after = net2.forward(x, Mode::Eval);
+  EXPECT_LT(max_abs_diff(before, after), 1e-6f);
+}
+
+TEST(Network, LoadRejectsWrongArchitecture) {
+  Rng rng(23);
+  ResnetCifarSpec a;
+  a.blocks_per_stage = 1;
+  a.num_classes = 2;
+  a.widths = {4, 4, 4};
+  ResnetCifarSpec b = a;
+  b.blocks_per_stage = 2;
+  Network na = make_resnet_cifar(a, rng);
+  Network nb = make_resnet_cifar(b, rng);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  na.save(w);
+  BinaryReader r(ss);
+  EXPECT_THROW(nb.load(r), CheckError);
+}
+
+TEST(Network, FreezeBatchnormStopsStatUpdates) {
+  Rng rng(24);
+  ResnetCifarSpec spec;
+  spec.blocks_per_stage = 1;
+  spec.widths = {4, 4, 4};
+  spec.num_classes = 2;
+  Network net = make_resnet_cifar(spec, rng);
+  Tensor x = Tensor::uniform({3, 8, 8}, 0, 1, rng);
+  (void)net.forward(x, Mode::Train);
+
+  // Snapshot one BN's stats, freeze, run more training forwards.
+  BatchNorm2d* bn = nullptr;
+  visit_layers(net.root(), [&](Layer& l) {
+    if (bn == nullptr) bn = dynamic_cast<BatchNorm2d*>(&l);
+  });
+  ASSERT_NE(bn, nullptr);
+  Tensor mean_before = bn->running_mean();
+  net.freeze_batchnorm();
+  (void)net.forward(x, Mode::Train);
+  EXPECT_EQ(max_abs_diff(mean_before, bn->running_mean()), 0.0f);
+
+  net.freeze_batchnorm(false);
+  (void)net.forward(x, Mode::Train);
+  EXPECT_GT(max_abs_diff(mean_before, bn->running_mean()), 0.0f);
+}
+
+TEST(Network, ParamCountMatchesArchitecture) {
+  Rng rng(25);
+  // conv(3->4,3x3)=108, bn 8, blocks..., linear...
+  ResnetCifarSpec spec;
+  spec.blocks_per_stage = 1;
+  spec.widths = {4, 4, 4};
+  spec.num_classes = 2;
+  Network net = make_resnet_cifar(spec, rng);
+  EXPECT_GT(net.param_count(), 1000);
+  std::int64_t manual = 0;
+  for (Param* p : net.params()) manual += p->value.numel();
+  EXPECT_EQ(net.param_count(), manual);
+}
+
+TEST(Resnet, DepthNaming) {
+  Rng rng(26);
+  ResnetCifarSpec spec;
+  spec.blocks_per_stage = 3;
+  Network net = make_resnet_cifar(spec, rng);
+  EXPECT_NE(net.arch().find("resnet20"), std::string::npos);
+  spec.blocks_per_stage = 5;
+  Network net32 = make_resnet_cifar(spec, rng);
+  EXPECT_NE(net32.arch().find("resnet32"), std::string::npos);
+}
+
+TEST(Resnet, Resnet18HandlesVariableInputSize) {
+  Rng rng(27);
+  Resnet18Spec spec;
+  spec.widths = {4, 4, 8, 8};
+  spec.num_classes = 5;
+  Network net = make_resnet18(spec, rng);
+  // Global average pooling makes the head size-agnostic (needed by the
+  // random resize-pad defense).
+  EXPECT_EQ(net.forward(Tensor({3, 24, 24}), Mode::Eval).numel(), 5);
+  EXPECT_EQ(net.forward(Tensor({3, 30, 30}), Mode::Eval).numel(), 5);
+}
+
+}  // namespace
+}  // namespace nvm::nn

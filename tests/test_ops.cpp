@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace nvm {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+TEST(Matmul, MatchesNaive) {
+  Rng rng(1);
+  for (auto [m, k, n] : {std::tuple{3, 4, 5}, {1, 7, 2}, {8, 8, 8}}) {
+    Tensor a = Tensor::normal({m, k}, 0, 1, rng);
+    Tensor b = Tensor::normal({k, n}, 0, 1, rng);
+    EXPECT_LT(max_abs_diff(matmul(a, b), naive_matmul(a, b)), 1e-4f)
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), CheckError);
+}
+
+TEST(Matvec, MatchesMatmul) {
+  Rng rng(2);
+  Tensor a = Tensor::normal({5, 7}, 0, 1, rng);
+  Tensor x = Tensor::normal({7}, 0, 1, rng);
+  Tensor y = matvec(a, x);
+  Tensor y2 = matmul(a, x.reshaped({7, 1}));
+  EXPECT_LT(max_abs_diff(y, y2.reshaped({5})), 1e-5f);
+}
+
+TEST(Transpose, Involution) {
+  Rng rng(3);
+  Tensor a = Tensor::normal({4, 6}, 0, 1, rng);
+  EXPECT_EQ(max_abs_diff(transpose2d(transpose2d(a)), a), 0.0f);
+  EXPECT_EQ(transpose2d(a).dim(0), 6);
+}
+
+/// Direct (reference) convolution for validating the im2col path.
+Tensor naive_conv(const Tensor& x, const Tensor& w, const ConvGeom& g) {
+  Tensor y({g.out_c, g.out_h(), g.out_w()});
+  for (std::int64_t oc = 0; oc < g.out_c; ++oc)
+    for (std::int64_t oy = 0; oy < g.out_h(); ++oy)
+      for (std::int64_t ox = 0; ox < g.out_w(); ++ox) {
+        double acc = 0;
+        for (std::int64_t ic = 0; ic < g.in_c; ++ic)
+          for (std::int64_t ky = 0; ky < g.kernel; ++ky)
+            for (std::int64_t kx = 0; kx < g.kernel; ++kx) {
+              const std::int64_t iy = oy * g.stride + ky - g.pad;
+              const std::int64_t ix = ox * g.stride + kx - g.pad;
+              if (iy < 0 || iy >= g.in_h || ix < 0 || ix >= g.in_w) continue;
+              acc += static_cast<double>(x.at(ic, iy, ix)) *
+                     w.at(oc, (ic * g.kernel + ky) * g.kernel + kx);
+            }
+        y.at(oc, oy, ox) = static_cast<float>(acc);
+      }
+  return y;
+}
+
+struct ConvCase {
+  std::int64_t in_c, in_h, in_w, out_c, kernel, stride, pad;
+};
+
+class Im2colConv : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Im2colConv, MatchesDirectConvolution) {
+  const ConvCase p = GetParam();
+  ConvGeom g{p.in_c, p.in_h, p.in_w, p.out_c, p.kernel, p.stride, p.pad};
+  Rng rng(7);
+  Tensor x = Tensor::normal({g.in_c, g.in_h, g.in_w}, 0, 1, rng);
+  Tensor w = Tensor::normal({g.out_c, g.patch_size()}, 0, 1, rng);
+  Tensor cols = im2col(x, g);
+  Tensor y = matmul(w, cols).reshaped({g.out_c, g.out_h(), g.out_w()});
+  EXPECT_LT(max_abs_diff(y, naive_conv(x, w, g)), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2colConv,
+    ::testing::Values(ConvCase{3, 8, 8, 4, 3, 1, 1},
+                      ConvCase{2, 7, 9, 3, 3, 2, 1},
+                      ConvCase{1, 5, 5, 2, 1, 1, 0},
+                      ConvCase{4, 6, 6, 8, 3, 2, 1},
+                      ConvCase{3, 12, 12, 8, 3, 1, 1}));
+
+// Property: col2im is the adjoint of im2col —
+//   <im2col(x), y> == <x, col2im(y)> for all x, y.
+TEST(Im2col, Col2imIsAdjoint) {
+  Rng rng(11);
+  ConvGeom g{3, 6, 6, 4, 3, 2, 1};
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor x = Tensor::normal({g.in_c, g.in_h, g.in_w}, 0, 1, rng);
+    Tensor y = Tensor::normal({g.patch_size(), g.out_h() * g.out_w()}, 0, 1, rng);
+    const Tensor cx = im2col(x, g);
+    const Tensor ay = col2im(y, g);
+    double lhs = 0, rhs = 0;
+    for (std::int64_t i = 0; i < cx.numel(); ++i) lhs += double(cx[i]) * y[i];
+    for (std::int64_t i = 0; i < x.numel(); ++i) rhs += double(x[i]) * ay[i];
+    EXPECT_NEAR(lhs, rhs, 1e-3);
+  }
+}
+
+TEST(PadImage, PlacesAndZeroFills) {
+  Tensor img({1, 2, 2}, {1, 2, 3, 4});
+  Tensor out = pad_image(img, 1, 2, 4, 5);
+  EXPECT_EQ(out.at(0, 1, 2), 1.0f);
+  EXPECT_EQ(out.at(0, 2, 3), 4.0f);
+  EXPECT_EQ(out.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(out.sum(), 10.0f);
+  EXPECT_THROW(pad_image(img, 3, 0, 4, 5), CheckError);
+}
+
+TEST(ResizeNearest, IdentityAndUpscale) {
+  Tensor img({1, 2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(max_abs_diff(resize_nearest(img, 2, 2), img), 0.0f);
+  Tensor up = resize_nearest(img, 4, 4);
+  EXPECT_EQ(up.at(0, 0, 0), 1.0f);
+  EXPECT_EQ(up.at(0, 0, 3), 2.0f);
+  EXPECT_EQ(up.at(0, 3, 3), 4.0f);
+}
+
+TEST(ConvGeom, OutputDims) {
+  ConvGeom g{3, 12, 12, 8, 3, 2, 1};
+  EXPECT_EQ(g.out_h(), 6);
+  EXPECT_EQ(g.out_w(), 6);
+  EXPECT_EQ(g.patch_size(), 27);
+}
+
+}  // namespace
+}  // namespace nvm

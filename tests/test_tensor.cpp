@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace nvm {
+namespace {
+
+TEST(Shape, NumelAndString) {
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({0, 5}), 0);
+  EXPECT_EQ(shape_str({2, 3}), "[2, 3]");
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ConstructWithDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), CheckError);
+}
+
+TEST(Tensor, FactoryFull) {
+  Tensor t = Tensor::full({3}, 2.5f);
+  EXPECT_EQ(t.sum(), 7.5f);
+}
+
+TEST(Tensor, UniformRespectsBounds) {
+  Rng rng(1);
+  Tensor t = Tensor::uniform({1000}, -2.0f, 3.0f, rng);
+  EXPECT_GE(t.min(), -2.0f);
+  EXPECT_LT(t.max(), 3.0f);
+  EXPECT_GT(t.max(), 1.0f);  // actually spans the range
+  EXPECT_LT(t.min(), 0.0f);
+}
+
+TEST(Tensor, IndexingRoundTrips) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 42.0f;
+  EXPECT_EQ(t.at(1, 2, 3, 4), 42.0f);
+  EXPECT_EQ(t[t.numel() - 1], 42.0f);
+}
+
+TEST(Tensor, IndexingOutOfRangeThrows) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at(2, 0), CheckError);
+  EXPECT_THROW(t.at(0, 3), CheckError);
+  EXPECT_THROW(t.at(-1, 0), CheckError);
+  EXPECT_THROW((void)t[6], CheckError);
+  EXPECT_THROW(t.at(0, 0, 0), CheckError);  // wrong rank
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), CheckError);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  Tensor c = a + b;
+  EXPECT_EQ(c[1], 22.0f);
+  c -= a;
+  EXPECT_EQ(c[2], 30.0f);
+  c *= 2.0f;
+  EXPECT_EQ(c[0], 20.0f);
+  Tensor d = a * b;
+  EXPECT_EQ(d[2], 90.0f);
+  d += 1.0f;
+  EXPECT_EQ(d[0], 11.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(a += b, CheckError);
+  EXPECT_THROW(a *= b, CheckError);
+  EXPECT_THROW(a.add_scaled(b, 1.0f), CheckError);
+}
+
+TEST(Tensor, AddScaledIsAxpy) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {10, 20});
+  a.add_scaled(b, 0.5f);
+  EXPECT_EQ(a[0], 6.0f);
+  EXPECT_EQ(a[1], 12.0f);
+}
+
+TEST(Tensor, ClampBounds) {
+  Tensor t({4}, {-2, 0.5f, 3, 100});
+  t.clamp(0.0f, 1.0f);
+  EXPECT_EQ(t[0], 0.0f);
+  EXPECT_EQ(t[1], 0.5f);
+  EXPECT_EQ(t[3], 1.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {-1, 2, -3, 4});
+  EXPECT_EQ(t.sum(), 2.0f);
+  EXPECT_EQ(t.mean(), 0.5f);
+  EXPECT_EQ(t.min(), -3.0f);
+  EXPECT_EQ(t.max(), 4.0f);
+  EXPECT_EQ(t.argmax(), 3);
+  EXPECT_EQ(t.abs_max(), 4.0f);
+  EXPECT_NEAR(t.norm2(), std::sqrt(30.0f), 1e-5f);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  Tensor t({3}, {5, 5, 5});
+  EXPECT_EQ(t.argmax(), 0);
+}
+
+TEST(Tensor, SaveLoadRoundTrip) {
+  Rng rng(3);
+  Tensor t = Tensor::normal({3, 4}, 0.0f, 1.0f, rng);
+  std::stringstream ss;
+  BinaryWriter w(ss);
+  t.save(w);
+  BinaryReader r(ss);
+  Tensor u = Tensor::load(r);
+  EXPECT_TRUE(u.same_shape(t));
+  EXPECT_EQ(max_abs_diff(t, u), 0.0f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  Tensor a({2}, {1, 5});
+  Tensor b({2}, {2, 3});
+  EXPECT_EQ(max_abs_diff(a, b), 2.0f);
+}
+
+// Property: (a + b) - b recovers a exactly for values with exact float sums.
+TEST(TensorProperty, AddSubInverse) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tensor a = Tensor::uniform({37}, -8.0f, 8.0f, rng);
+    Tensor b = Tensor::uniform({37}, -8.0f, 8.0f, rng);
+    Tensor c = (a + b) - b;
+    EXPECT_LT(max_abs_diff(a, c), 1e-5f);
+  }
+}
+
+}  // namespace
+}  // namespace nvm

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+#include <cmath>
+
+#include "xbar/config.h"
+#include "xbar/device.h"
+
+namespace nvm::xbar {
+namespace {
+
+TEST(Sinhc, MatchesStdSinh) {
+  for (double x : {1e-6, 0.01, 0.1, 0.5, 1.0, 1.4, 1.6, 2.5, -0.7, -2.0}) {
+    const double expected = x == 0 ? 1.0 : std::sinh(x) / x;
+    EXPECT_NEAR(sinhc(x), expected, 1e-6 * std::abs(expected)) << "x=" << x;
+  }
+}
+
+TEST(Sinhc, UnityAtZero) { EXPECT_DOUBLE_EQ(sinhc(0.0), 1.0); }
+
+TEST(Device, LinearLimitAtSmallVoltage) {
+  const double g = 1e-5, b = 2.0;
+  EXPECT_NEAR(device_current(g, 1e-6, b), g * 1e-6, 1e-15);
+}
+
+TEST(Device, SuperlinearAtLargeVoltage) {
+  const double g = 1e-5, b = 2.0, v = 0.25;
+  EXPECT_GT(device_current(g, v, b), g * v);
+  // sinh(0.5)/0.5 = 1.0422
+  EXPECT_NEAR(device_current(g, v, b) / (g * v), 1.0422, 1e-3);
+}
+
+TEST(Device, CurrentIsOddInVoltage) {
+  const double g = 2e-5, b = 3.0;
+  EXPECT_NEAR(device_current(g, 0.2, b), -device_current(g, -0.2, b), 1e-18);
+}
+
+TEST(Device, SecantConductanceConsistent) {
+  const double g = 1e-5, b = 2.0, v = 0.2;
+  EXPECT_NEAR(device_secant_conductance(g, v, b) * v, device_current(g, v, b),
+              1e-18);
+  EXPECT_NEAR(device_secant_conductance(g, 0.0, b), g, 1e-18);
+}
+
+TEST(Device, MonotoneInVoltage) {
+  const double g = 1e-5, b = 2.0;
+  double prev = 0.0;
+  for (double v = 0.01; v <= 0.3; v += 0.01) {
+    const double i = device_current(g, v, b);
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Config, DerivedQuantities) {
+  CrossbarConfig cfg = xbar_64x64_100k();
+  EXPECT_DOUBLE_EQ(cfg.g_on(), 1e-5);
+  EXPECT_DOUBLE_EQ(cfg.g_off(), 1e-5 / 20);
+  EXPECT_DOUBLE_EQ(cfg.i_scale(), 0.25 * 1e-5 * 64);
+}
+
+TEST(Config, PresetsMatchTableI) {
+  EXPECT_EQ(xbar_64x64_300k().rows, 64);
+  EXPECT_DOUBLE_EQ(xbar_64x64_300k().r_on, 300e3);
+  EXPECT_EQ(xbar_32x32_100k().rows, 32);
+  EXPECT_DOUBLE_EQ(xbar_32x32_100k().r_on, 100e3);
+  EXPECT_EQ(preset("64x64_100k").name, "64x64_100k");
+  EXPECT_THROW(preset("128x128_1k"), CheckError);
+}
+
+TEST(Config, TagDistinguishesConfigs) {
+  EXPECT_NE(xbar_64x64_100k().tag(), xbar_64x64_300k().tag());
+  CrossbarConfig a = xbar_64x64_100k(), b = a;
+  b.r_wire *= 2;
+  EXPECT_NE(a.tag(), b.tag());
+}
+
+}  // namespace
+}  // namespace nvm::xbar
