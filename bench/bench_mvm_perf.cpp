@@ -1,8 +1,17 @@
 // Microbenchmarks (google-benchmark) for the crossbar MVM backends and
 // the tiled GEMM path — the cost hierarchy that motivates using the
 // GENIEx surrogate (not the circuit solver) inside DNN experiments.
+//
+// The *Threads benchmarks drive the same code through explicit
+// nvm::ThreadPool sizes (the benchmark Arg is the pool size, overriding
+// NVM_THREADS), so one run reports the scaling curve. To capture a BENCH
+// trajectory file for a PR, emit machine-readable JSON:
+//
+//   ./build/bench/bench_mvm_perf \
+//       --benchmark_out=bench_mvm_perf.json --benchmark_out_format=json
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.h"
 #include "puma/tiled_mvm.h"
 #include "tensor/ops.h"
 #include "xbar/circuit_solver.h"
@@ -96,6 +105,51 @@ void BM_TiledMatmul(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(tiled.matmul(x, 1.0f));
 }
 BENCHMARK(BM_TiledMatmul)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_CircuitSolverBatchThreads(benchmark::State& state) {
+  // One programmed crossbar, 16 independent input vectors: the default
+  // mvm_batch fans columns across the pool (GENIEx sample generation and
+  // validation sweeps are exactly this shape).
+  const auto cfg = bench_cfg(32);
+  xbar::CircuitSolverModel model(cfg);
+  auto programmed = model.program(bench_g(cfg));
+  Rng rng(6);
+  Tensor vb({cfg.rows, 16});
+  for (auto& x : vb.data())
+    x = static_cast<float>(rng.uniform(0, cfg.v_read));
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  ThreadPool::ScopedUse use(pool);
+  for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm_batch(vb));
+}
+BENCHMARK(BM_CircuitSolverBatchThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_TiledMatmulThreads(benchmark::State& state) {
+  // A wider GEMM than BM_TiledMatmul ((64 x 288) weights, 64 im2col
+  // columns -> 2x9 tile grid x 2 polarities x 2 slices) so the per-slot
+  // fan-out has enough independent crossbar passes to scale.
+  Rng rng(7);
+  Tensor w = Tensor::normal({64, 288}, 0, 0.1f, rng);
+  Tensor x({288, 64});
+  for (auto& v : x.data())
+    v = rng.bernoulli(0.5) ? 0.0f : static_cast<float>(rng.uniform(0, 1));
+  auto model =
+      std::make_shared<xbar::FastNoiseModel>(xbar::xbar_64x64_100k());
+  puma::TiledMatrix tiled(w, model, puma::HwConfig{});
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  ThreadPool::ScopedUse use(pool);
+  for (auto _ : state) benchmark::DoNotOptimize(tiled.matmul(x, 1.0f));
+}
+BENCHMARK(BM_TiledMatmulThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_FloatGemmReference(benchmark::State& state) {
   Rng rng(5);

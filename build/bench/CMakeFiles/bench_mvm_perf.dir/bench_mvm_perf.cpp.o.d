@@ -183,9 +183,14 @@ bench/CMakeFiles/bench_mvm_perf.dir/bench_mvm_perf.cpp.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/puma/tiled_mvm.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
@@ -203,20 +208,32 @@ bench/CMakeFiles/bench_mvm_perf.dir/bench_mvm_perf.cpp.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc \
- /usr/include/c++/12/bits/shared_ptr.h \
- /usr/include/c++/12/bits/shared_ptr_base.h \
- /usr/include/c++/12/bits/allocated_ptr.h \
- /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/ext/concurrence.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/puma/tiled_mvm.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/xbar/mvm_model.h /root/repo/src/tensor/tensor.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/common/rng.h /root/repo/src/common/serialize.h \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /root/repo/src/xbar/config.h /root/repo/src/tensor/ops.h \
- /root/repo/src/xbar/circuit_solver.h /root/repo/src/xbar/fast_noise.h \
- /root/repo/src/xbar/geniex.h /root/repo/src/xbar/mlp.h \
- /root/repo/src/xbar/model_zoo.h
+ /usr/include/c++/12/span /root/repo/src/common/rng.h \
+ /root/repo/src/common/serialize.h /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /root/repo/src/xbar/config.h \
+ /root/repo/src/tensor/ops.h /root/repo/src/xbar/circuit_solver.h \
+ /root/repo/src/xbar/fast_noise.h /root/repo/src/xbar/geniex.h \
+ /root/repo/src/xbar/mlp.h /root/repo/src/xbar/model_zoo.h

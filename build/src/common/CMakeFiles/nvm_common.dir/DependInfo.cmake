@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/nvm_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/nvm_common.dir/logging.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/nvm_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/nvm_common.dir/rng.cpp.o.d"
   "/root/repo/src/common/serialize.cpp" "src/common/CMakeFiles/nvm_common.dir/serialize.cpp.o" "gcc" "src/common/CMakeFiles/nvm_common.dir/serialize.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/nvm_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/nvm_common.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

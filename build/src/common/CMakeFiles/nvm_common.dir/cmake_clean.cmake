@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/nvm_common.dir/rng.cpp.o.d"
   "CMakeFiles/nvm_common.dir/serialize.cpp.o"
   "CMakeFiles/nvm_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/nvm_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/nvm_common.dir/thread_pool.cpp.o.d"
   "libnvm_common.a"
   "libnvm_common.pdb"
 )

@@ -315,13 +315,26 @@ tests/CMakeFiles/test_hw_semantics.dir/test_hw_semantics.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/check.h \
- /root/repo/src/defense/defenses.h /root/repo/src/common/rng.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/core/evaluator.h /usr/include/c++/12/span \
+ /root/repo/src/attack/pgd.h /root/repo/src/attack/attack_model.h \
  /root/repo/src/nn/network.h /root/repo/src/nn/mvm_engine.h \
- /root/repo/src/tensor/tensor.h /usr/include/c++/12/span \
+ /root/repo/src/tensor/tensor.h /root/repo/src/common/rng.h \
  /root/repo/src/common/serialize.h /root/repo/src/nn/sequential.h \
  /root/repo/src/nn/activations.h /root/repo/src/nn/layer.h \
  /root/repo/src/nn/batchnorm.h /root/repo/src/nn/conv.h \
- /root/repo/src/tensor/ops.h /root/repo/src/nn/resnet.h \
+ /root/repo/src/tensor/ops.h /root/repo/src/attack/square.h \
+ /root/repo/src/defense/defenses.h /root/repo/src/nn/resnet.h \
  /root/repo/src/nn/trainer.h /root/repo/src/nn/optimizer.h \
  /root/repo/src/puma/hw_network.h /root/repo/src/puma/engine.h \
  /root/repo/src/puma/tiled_mvm.h /root/repo/src/xbar/mvm_model.h \
@@ -329,4 +342,4 @@ tests/CMakeFiles/test_hw_semantics.dir/test_hw_semantics.cpp.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/xbar/fast_noise.h
+ /root/repo/src/xbar/circuit_solver.h /root/repo/src/xbar/fast_noise.h

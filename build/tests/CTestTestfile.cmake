@@ -5,6 +5,7 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
 include("/root/repo/build/tests/test_tensor[1]_include.cmake")
 include("/root/repo/build/tests/test_ops[1]_include.cmake")
 include("/root/repo/build/tests/test_nn_layers[1]_include.cmake")

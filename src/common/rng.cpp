@@ -22,6 +22,13 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  // Mix base with the stream id through splitmix; streams of the same base
+  // are decorrelated regardless of how much any parent Rng was used.
+  std::uint64_t s = base ^ (0xd1342543de82ef95ULL * (stream + 1));
+  return splitmix64(s);
+}
+
 Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t s = seed;
   for (auto& w : state_) w = splitmix64(s);
@@ -85,10 +92,7 @@ bool Rng::bernoulli(double p) { return uniform() < p; }
 double Rng::sign() { return (next() & 1u) ? 1.0 : -1.0; }
 
 Rng Rng::split(std::uint64_t stream) const {
-  // Mix parent seed with the stream id through splitmix; streams of the
-  // same parent are decorrelated regardless of how much the parent was used.
-  std::uint64_t s = seed_ ^ (0xd1342543de82ef95ULL * (stream + 1));
-  return Rng(splitmix64(s));
+  return Rng(derive_seed(seed_, stream));
 }
 
 }  // namespace nvm

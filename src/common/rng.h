@@ -14,6 +14,15 @@
 
 namespace nvm {
 
+/// Stateless splittable seed derivation: the seed of stream `stream` under
+/// `base`. Batch paths (per-sample attack crafting, GENIEx sample
+/// generation) seed each unit of work with derive_seed(base, index) so the
+/// result is a pure function of (base, index) — identical whether the
+/// batch runs serially or fanned out across the thread pool, and
+/// regardless of how work is chunked. Rng(derive_seed(b, i)) is exactly
+/// Rng(b).split(i).
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream);
+
 /// xoshiro256++ PRNG with convenience distributions.
 class Rng {
  public:

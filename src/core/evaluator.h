@@ -1,5 +1,16 @@
 // Accuracy evaluation over (possibly defended, possibly crossbar-deployed)
 // forward functions, and batch adversarial-set generation.
+//
+// Parallel execution model: a Network (and therefore a ForwardFn or
+// AttackModel wrapping one) caches layer state during forward/backward, so
+// a single instance must never be driven from two threads at once. The
+// serial entry points below honor that. Each also has a replica overload
+// that fans per-sample work across the thread pool, taking one
+// functionally-identical replica per worker chunk (at most one thread
+// drives a replica at a time). Per-sample RNG seeding goes through
+// derive_seed(base, sample_index) in both paths, so serial and parallel
+// runs produce bit-identical outputs when the replicas are deterministic
+// and equivalent.
 #pragma once
 
 #include <functional>
@@ -18,20 +29,44 @@ using ForwardFn = std::function<Tensor(const Tensor&)>;
 /// Plain Eval-mode forward of a network (with its current engines/hooks).
 ForwardFn plain_forward(nn::Network& net);
 
-/// Top-1 accuracy (%) of `fn` over an image set.
+/// Top-1 accuracy (%) of `fn` over an image set (serial).
 float accuracy(const ForwardFn& fn, std::span<const Tensor> images,
                std::span<const std::int64_t> labels);
 
+/// Top-1 accuracy (%) fanning samples across the pool: replica r serves
+/// worker chunk r. Replicas must classify identically (e.g. plain_forward
+/// over identically-prepared networks, or copies of one thread-safe
+/// closure); then the result equals the serial overload bit-for-bit.
+float accuracy(std::span<const ForwardFn> replicas,
+               std::span<const Tensor> images,
+               std::span<const std::int64_t> labels);
+
 /// Crafts one PGD adversarial image per input using `attacker`'s view.
+/// Image i uses seed derive_seed(opt.seed, i).
 std::vector<Tensor> craft_pgd(attack::AttackModel& attacker,
                               std::span<const Tensor> images,
                               std::span<const std::int64_t> labels,
                               const attack::PgdOptions& opt);
 
+/// Parallel PGD crafting over per-worker attacker replicas; per-image
+/// seeding matches the serial overload, so equivalent replicas yield
+/// bit-identical adversarial sets.
+std::vector<Tensor> craft_pgd(std::span<attack::AttackModel* const> attackers,
+                              std::span<const Tensor> images,
+                              std::span<const std::int64_t> labels,
+                              const attack::PgdOptions& opt);
+
 /// Crafts one Square-Attack adversarial image per input.
+/// Image i uses seed derive_seed(opt.seed, i).
 std::vector<Tensor> craft_square(attack::AttackModel& attacker,
                                  std::span<const Tensor> images,
                                  std::span<const std::int64_t> labels,
                                  const attack::SquareOptions& opt);
+
+/// Parallel Square-Attack crafting over per-worker attacker replicas.
+std::vector<Tensor> craft_square(
+    std::span<attack::AttackModel* const> attackers,
+    std::span<const Tensor> images, std::span<const std::int64_t> labels,
+    const attack::SquareOptions& opt);
 
 }  // namespace nvm::core

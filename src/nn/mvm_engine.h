@@ -7,6 +7,17 @@
 // the weight matrix onto crossbar conductances and evaluates every MVM
 // through a (non-ideal) crossbar model. Backward passes never touch the
 // engine — gradients are always the ideal derivative, as in the paper.
+// Thread-safety contract: one MvmEngine instance is NOT required to
+// support concurrent matmul() calls — engines keep lazy-programming and
+// calibration state (see puma::CrossbarMvmEngine). The parallel execution
+// layer respects this at both of its levels:
+//   * inside one call — puma::TiledMatrix::matmul fans crossbar tiles
+//     across the nvm::ThreadPool; the underlying xbar::ProgrammedXbar
+//     objects ARE required to tolerate concurrent mvm() (xbar/mvm_model.h);
+//   * across samples — the core::accuracy / craft_* replica overloads give
+//     each worker chunk its own network (and thus its own engine chain).
+// Consequently a Network is driven by at most one thread at a time, and
+// engines never see concurrent matmul() on the same instance.
 #pragma once
 
 #include <memory>

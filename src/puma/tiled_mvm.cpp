@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <sstream>
+#include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "puma/bit_slicing.h"
 #include "puma/quantize.h"
 
@@ -119,7 +121,20 @@ Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
   const float i_scale = static_cast<float>(cfg.i_scale());
   const float dot_unit = v_unit * g_unit;  // amps per integer dot count
 
-  for (std::int64_t ti = 0; ti < row_tiles_; ++ti) {
+  // The GEMM runs in three phases on the thread pool. Results are
+  // bit-identical for any NVM_THREADS because every parallel unit owns
+  // disjoint output and the cross-slot reduction happens in a fixed order.
+  //
+  // Phase 1 — DAC: per (row tile, stream) voltage blocks and g_off
+  // baselines, independent across row tiles.
+  struct StreamBlock {
+    Tensor volts;                 // (cfg.rows, n) DAC voltages
+    std::vector<float> baseline;  // per input vector, g_off * sum(volts)
+    bool active = false;          // false: chunk all-zero and skippable
+  };
+  std::vector<StreamBlock> dac(
+      static_cast<std::size_t>(row_tiles_ * streams));
+  parallel_for(row_tiles_, [&](std::int64_t ti) {
     const std::int64_t k0 = ti * cfg.rows;
     const std::int64_t k1 = std::min(k_, k0 + cfg.rows);
     const std::int64_t k_used = k1 - k0;
@@ -135,53 +150,81 @@ Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
     for (std::int64_t t = 0; t < streams; ++t) {
       Tensor chunk = extract_chunk(xblock, t, hw_.stream_bits);
       if (hw_.skip_zero_tiles && chunk.abs_max() == 0.0f) continue;
-
-      // DAC: integer chunk -> voltages; also per-vector chunk sums for the
-      // digital g_off baseline subtraction.
-      Tensor volts = chunk;  // copy
-      volts *= v_unit;
-      std::vector<float> baseline(static_cast<std::size_t>(n), 0.0f);
+      StreamBlock& sb = dac[static_cast<std::size_t>(ti * streams + t)];
+      sb.active = true;
+      sb.baseline.assign(static_cast<std::size_t>(n), 0.0f);
       for (std::int64_t kk = 0; kk < k_used; ++kk) {
         const float* src = chunk.raw() + kk * n;
         for (std::int64_t nn = 0; nn < n; ++nn)
-          baseline[static_cast<std::size_t>(nn)] += src[nn];
+          sb.baseline[static_cast<std::size_t>(nn)] += src[nn];
       }
       for (std::int64_t nn = 0; nn < n; ++nn)
-        baseline[static_cast<std::size_t>(nn)] *= g_off * v_unit;
+        sb.baseline[static_cast<std::size_t>(nn)] *= g_off * v_unit;
+      chunk *= v_unit;  // integer chunk -> DAC voltages
+      sb.volts = std::move(chunk);
+    }
+  });
 
-      const float stream_w = chunk_weight(t, hw_.stream_bits);
-      for (std::int64_t tj = 0; tj < col_tiles_; ++tj) {
-        const std::int64_t m0 = tj * cfg.cols;
-        const std::int64_t m1 = std::min(m_, m0 + cfg.cols);
-        const std::int64_t m_used = m1 - m0;
-        for (int pol = 0; pol < 2; ++pol) {
-          const float sign = (pol == 0) ? 1.0f : -1.0f;
-          for (std::int64_t s = 0; s < slices; ++s) {
-            const std::size_t slot = static_cast<std::size_t>(
-                ((ti * col_tiles_ + tj) * 2 + pol) * slices + s);
-            xbar::ProgrammedXbar* tile = tiles_[slot].get();
-            if (tile == nullptr) continue;
-            Tensor currents =
-                tile->mvm_batch_active(volts, k_used, m_used);  // (cols, n)
-            for (std::int64_t mm = 0; mm < m_used; ++mm) {
-              float* cur = currents.raw() + mm * n;
-              for (std::int64_t nn = 0; nn < n; ++nn)
-                cur[nn] = adc_quantize(cur[nn], i_scale, hw_.adc_bits);
-            }
-            const float shift =
-                sign * stream_w * chunk_weight(s, hw_.slice_bits) / dot_unit;
-            for (std::int64_t mm = 0; mm < m_used; ++mm) {
-              const float* cur = currents.raw() + mm * n;
-              float* res = result.raw() + (m0 + mm) * n;
-              for (std::int64_t nn = 0; nn < n; ++nn)
-                res[nn] +=
-                    shift * (cur[nn] - baseline[static_cast<std::size_t>(nn)]);
-            }
-          }
+  // Phase 2 — crossbar passes: every programmed tile slot
+  // (row tile, col tile, polarity, slice) is an independent task that
+  // streams its input chunks, ADC-quantizes, and shift-adds into a
+  // slot-local partial sum.
+  const std::int64_t slots = total_tile_slots();
+  std::vector<Tensor> partial(static_cast<std::size_t>(slots));
+  parallel_for(slots, [&](std::int64_t slot) {
+    xbar::ProgrammedXbar* tile = tiles_[static_cast<std::size_t>(slot)].get();
+    if (tile == nullptr) return;
+    const std::int64_t s = slot % slices;
+    const std::int64_t q = slot / slices;
+    const int pol = static_cast<int>(q % 2);
+    const std::int64_t tj = (q / 2) % col_tiles_;
+    const std::int64_t ti = (q / 2) / col_tiles_;
+    const std::int64_t k_used = std::min(k_, (ti + 1) * cfg.rows) - ti * cfg.rows;
+    const std::int64_t m_used = std::min(m_, (tj + 1) * cfg.cols) - tj * cfg.cols;
+    const float sign = (pol == 0) ? 1.0f : -1.0f;
+    const float slice_w = chunk_weight(s, hw_.slice_bits);
+
+    Tensor acc;
+    for (std::int64_t t = 0; t < streams; ++t) {
+      const StreamBlock& sb = dac[static_cast<std::size_t>(ti * streams + t)];
+      if (!sb.active) continue;
+      Tensor currents =
+          tile->mvm_batch_active(sb.volts, k_used, m_used);  // (cols, n)
+      const float shift =
+          sign * chunk_weight(t, hw_.stream_bits) * slice_w / dot_unit;
+      if (acc.numel() == 0) acc = Tensor({m_used, n});
+      for (std::int64_t mm = 0; mm < m_used; ++mm) {
+        const float* cur = currents.raw() + mm * n;
+        float* out = acc.raw() + mm * n;
+        for (std::int64_t nn = 0; nn < n; ++nn) {
+          const float i_adc = adc_quantize(cur[nn], i_scale, hw_.adc_bits);
+          out[nn] +=
+              shift * (i_adc - sb.baseline[static_cast<std::size_t>(nn)]);
         }
       }
     }
-  }
+    partial[static_cast<std::size_t>(slot)] = std::move(acc);
+  });
+
+  // Phase 3 — reduction: each output col tile owns disjoint result rows
+  // and folds its slots in a fixed (row tile, polarity, slice) order.
+  parallel_for(col_tiles_, [&](std::int64_t tj) {
+    const std::int64_t m0 = tj * cfg.cols;
+    const std::int64_t m_used = std::min(m_, m0 + cfg.cols) - m0;
+    for (std::int64_t ti = 0; ti < row_tiles_; ++ti)
+      for (int pol = 0; pol < 2; ++pol)
+        for (std::int64_t s = 0; s < slices; ++s) {
+          const std::size_t slot = static_cast<std::size_t>(
+              ((ti * col_tiles_ + tj) * 2 + pol) * slices + s);
+          const Tensor& acc = partial[slot];
+          if (acc.numel() == 0) continue;
+          for (std::int64_t mm = 0; mm < m_used; ++mm) {
+            const float* src = acc.raw() + mm * n;
+            float* res = result.raw() + (m0 + mm) * n;
+            for (std::int64_t nn = 0; nn < n; ++nn) res[nn] += src[nn];
+          }
+        }
+  });
 
   // Undo integer scaling: W ~ weight_scale * Wq, X ~ s_x * Xq / (2^ib - 1).
   const float x_unit =

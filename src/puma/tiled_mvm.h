@@ -16,6 +16,11 @@
 //
 // All crossbar evaluations flow through the injected MvmModel, so the same
 // code path runs ideal, GENIEx, fast-noise, or circuit-solver crossbars.
+//
+// matmul() fans the programmed tile slots across nvm::ThreadPool (DAC
+// precompute per row tile, one task per tile slot, fixed-order reduction
+// per output col tile), so results are bit-identical for any NVM_THREADS.
+// This relies on the ProgrammedXbar concurrency contract (xbar/mvm_model.h).
 #pragma once
 
 #include <memory>
@@ -63,7 +68,8 @@ class TiledMatrix {
 
   /// Approximates W * X. `x` is (K, N), elementwise >= 0. `input_scale`
   /// fixes the activation quantization range; pass <= 0 for dynamic
-  /// (per-call max) scaling.
+  /// (per-call max) scaling. Tile evaluations run on the current
+  /// nvm::ThreadPool; safe to call concurrently (tiles are immutable).
   Tensor matmul(const Tensor& x, float input_scale = 0.0f) const;
 
   std::int64_t rows() const { return m_; }

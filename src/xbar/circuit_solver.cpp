@@ -1,6 +1,7 @@
 #include "xbar/circuit_solver.h"
 
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "common/check.h"
@@ -27,133 +28,138 @@ void solve_tridiagonal(std::vector<double>& diag, std::vector<double>& rhs,
     out[k] = (rhs[k] + off * out[k + 1]) / diag[k];
 }
 
+/// Reusable relinearization/solve scratch. Every solve fully overwrites
+/// each array before reading it, so reuse across solves (and across
+/// crossbars of different sizes) cannot leak state between calls. One
+/// instance lives per thread (see tls_workspace), which makes concurrent
+/// mvm() calls on the same SolverProgrammed allocation-free and race-free.
+struct SolverWorkspace {
+  std::vector<double> geff;             // secant conductances
+  std::vector<double> vr, vc;           // row/column node voltages
+  std::vector<double> diag, rhs, sol;   // tridiagonal scratch
+};
+
+SolverWorkspace& tls_workspace() {
+  thread_local SolverWorkspace ws;
+  return ws;
+}
+
 /// Crossbar nodal analysis via block line relaxation: each outer iteration
 /// re-linearizes the nonlinear devices (secant conductance), then solves
 /// every row wire chain and every column wire chain exactly as tridiagonal
 /// systems with the opposite side held fixed. The wire stiffness
 /// (g_wire >> g_device) is handled inside the direct solves, so the outer
 /// loop converges at the device/wire coupling rate — a handful of sweeps.
-class Solver {
- public:
-  Solver(const CrossbarConfig& cfg, const SolverOptions& opt, const Tensor& g)
-      : cfg_(cfg),
-        opt_(opt),
-        rows_(cfg.rows),
-        cols_(cfg.cols),
-        g_(g.data().begin(), g.data().end()),
-        geff_(g_),
-        vr_(static_cast<std::size_t>(rows_ * cols_), 0.0),
-        vc_(static_cast<std::size_t>(rows_ * cols_), 0.0),
-        gs_(1.0 / cfg.r_source),
-        gk_(1.0 / cfg.r_sink),
-        gw_(1.0 / cfg.r_wire) {}
+///
+/// `g` is the programmed conductance matrix in row-major doubles; it is
+/// read-only, so one programmed crossbar can be solved from many threads.
+Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
+                   std::span<const double> g, const Tensor& v,
+                   SolverWorkspace& ws, int* sweeps_used) {
+  const std::int64_t rows = cfg.rows, cols = cfg.cols;
+  NVM_CHECK_EQ(v.numel(), rows);
+  NVM_CHECK_EQ(g.size(), static_cast<std::size_t>(rows * cols));
+  const double gs = 1.0 / cfg.r_source;
+  const double gk = 1.0 / cfg.r_sink;
+  const double gw = 1.0 / cfg.r_wire;
+  const auto idx = [cols](std::int64_t i, std::int64_t j) {
+    return static_cast<std::size_t>(i * cols + j);
+  };
 
-  Tensor solve(const Tensor& v, int* sweeps_used) {
-    NVM_CHECK_EQ(v.numel(), rows_);
-    for (std::int64_t i = 0; i < rows_; ++i)
-      for (std::int64_t j = 0; j < cols_; ++j) vr_[idx(i, j)] = v[i];
-    std::fill(vc_.begin(), vc_.end(), 0.0);
+  const std::size_t cells = static_cast<std::size_t>(rows * cols);
+  ws.geff.resize(cells);
+  ws.vr.resize(cells);
+  ws.vc.resize(cells);
+  for (std::int64_t i = 0; i < rows; ++i)
+    for (std::int64_t j = 0; j < cols; ++j) ws.vr[idx(i, j)] = v[i];
+  std::fill(ws.vc.begin(), ws.vc.end(), 0.0);
 
-    std::vector<double> diag, rhs, sol;
-    int sweep = 0;
-    for (; sweep < opt_.max_sweeps; ++sweep) {
-      relinearize();
+  int sweep = 0;
+  for (; sweep < opt.max_sweeps; ++sweep) {
+    const double b = cfg.device_nonlin;
+    for (std::size_t k = 0; k < cells; ++k)
+      ws.geff[k] = device_secant_conductance(g[k], ws.vr[k] - ws.vc[k], b);
 
-      // Row chains: unknowns vr[i][*]; vc held fixed.
-      diag.assign(static_cast<std::size_t>(cols_), 0.0);
-      rhs.assign(static_cast<std::size_t>(cols_), 0.0);
-      sol.assign(static_cast<std::size_t>(cols_), 0.0);
-      for (std::int64_t i = 0; i < rows_; ++i) {
-        for (std::int64_t j = 0; j < cols_; ++j) {
-          const std::size_t k = idx(i, j);
-          double d = geff_[k];
-          double r = geff_[k] * vc_[k];
-          if (j == 0) {
-            d += gs_;
-            r += gs_ * v[i];
-          }
-          if (j > 0) d += gw_;
-          if (j + 1 < cols_) d += gw_;
-          diag[static_cast<std::size_t>(j)] = d;
-          rhs[static_cast<std::size_t>(j)] = r;
+    // Row chains: unknowns vr[i][*]; vc held fixed.
+    ws.diag.assign(static_cast<std::size_t>(cols), 0.0);
+    ws.rhs.assign(static_cast<std::size_t>(cols), 0.0);
+    ws.sol.assign(static_cast<std::size_t>(cols), 0.0);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const std::size_t k = idx(i, j);
+        double d = ws.geff[k];
+        double r = ws.geff[k] * ws.vc[k];
+        if (j == 0) {
+          d += gs;
+          r += gs * v[i];
         }
-        solve_tridiagonal(diag, rhs, gw_, sol);
-        for (std::int64_t j = 0; j < cols_; ++j)
-          vr_[idx(i, j)] = sol[static_cast<std::size_t>(j)];
+        if (j > 0) d += gw;
+        if (j + 1 < cols) d += gw;
+        ws.diag[static_cast<std::size_t>(j)] = d;
+        ws.rhs[static_cast<std::size_t>(j)] = r;
       }
+      solve_tridiagonal(ws.diag, ws.rhs, gw, ws.sol);
+      for (std::int64_t j = 0; j < cols; ++j)
+        ws.vr[idx(i, j)] = ws.sol[static_cast<std::size_t>(j)];
+    }
 
-      // Column chains: unknowns vc[*][j]; vr held fixed.
-      double max_delta = 0.0;
-      diag.assign(static_cast<std::size_t>(rows_), 0.0);
-      rhs.assign(static_cast<std::size_t>(rows_), 0.0);
-      sol.assign(static_cast<std::size_t>(rows_), 0.0);
-      for (std::int64_t j = 0; j < cols_; ++j) {
-        for (std::int64_t i = 0; i < rows_; ++i) {
-          const std::size_t k = idx(i, j);
-          double d = geff_[k];
-          double r = geff_[k] * vr_[k];
-          if (i > 0) d += gw_;
-          if (i + 1 < rows_) d += gw_;
-          else d += gk_;  // bottom node ties to ground through the sink
-          diag[static_cast<std::size_t>(i)] = d;
-          rhs[static_cast<std::size_t>(i)] = r;
-        }
-        solve_tridiagonal(diag, rhs, gw_, sol);
-        for (std::int64_t i = 0; i < rows_; ++i) {
-          const std::size_t k = idx(i, j);
-          max_delta = std::max(max_delta,
-                               std::abs(sol[static_cast<std::size_t>(i)] - vc_[k]));
-          vc_[k] = sol[static_cast<std::size_t>(i)];
-        }
+    // Column chains: unknowns vc[*][j]; vr held fixed.
+    double max_delta = 0.0;
+    ws.diag.assign(static_cast<std::size_t>(rows), 0.0);
+    ws.rhs.assign(static_cast<std::size_t>(rows), 0.0);
+    ws.sol.assign(static_cast<std::size_t>(rows), 0.0);
+    for (std::int64_t j = 0; j < cols; ++j) {
+      for (std::int64_t i = 0; i < rows; ++i) {
+        const std::size_t k = idx(i, j);
+        double d = ws.geff[k];
+        double r = ws.geff[k] * ws.vr[k];
+        if (i > 0) d += gw;
+        if (i + 1 < rows) d += gw;
+        else d += gk;  // bottom node ties to ground through the sink
+        ws.diag[static_cast<std::size_t>(i)] = d;
+        ws.rhs[static_cast<std::size_t>(i)] = r;
       }
-
-      // Converge on relative voltage movement against the drive scale.
-      if (max_delta < opt_.tol * cfg_.v_read + 1e-15) {
-        ++sweep;
-        break;
+      solve_tridiagonal(ws.diag, ws.rhs, gw, ws.sol);
+      for (std::int64_t i = 0; i < rows; ++i) {
+        const std::size_t k = idx(i, j);
+        max_delta = std::max(
+            max_delta, std::abs(ws.sol[static_cast<std::size_t>(i)] - ws.vc[k]));
+        ws.vc[k] = ws.sol[static_cast<std::size_t>(i)];
       }
     }
-    if (sweeps_used != nullptr) *sweeps_used = sweep;
 
-    Tensor out({cols_});
-    for (std::int64_t j = 0; j < cols_; ++j)
-      out[j] = static_cast<float>(vc_[idx(rows_ - 1, j)] * gk_);
-    return out;
+    // Converge on relative voltage movement against the drive scale.
+    if (max_delta < opt.tol * cfg.v_read + 1e-15) {
+      ++sweep;
+      break;
+    }
   }
+  if (sweeps_used != nullptr) *sweeps_used = sweep;
 
- private:
-  std::size_t idx(std::int64_t i, std::int64_t j) const {
-    return static_cast<std::size_t>(i * cols_ + j);
-  }
-
-  void relinearize() {
-    const double b = cfg_.device_nonlin;
-    for (std::size_t k = 0; k < g_.size(); ++k)
-      geff_[k] = device_secant_conductance(g_[k], vr_[k] - vc_[k], b);
-  }
-
-  const CrossbarConfig& cfg_;
-  const SolverOptions& opt_;
-  std::int64_t rows_, cols_;
-  std::vector<double> g_, geff_;
-  std::vector<double> vr_, vc_;
-  double gs_, gk_, gw_;
-};
+  Tensor out({cols});
+  for (std::int64_t j = 0; j < cols; ++j)
+    out[j] = static_cast<float>(ws.vc[idx(rows - 1, j)] * gk);
+  return out;
+}
 
 class SolverProgrammed final : public ProgrammedXbar {
  public:
-  SolverProgrammed(CrossbarConfig cfg, SolverOptions opt, Tensor g)
-      : cfg_(std::move(cfg)), opt_(opt), g_(std::move(g)) {}
+  SolverProgrammed(CrossbarConfig cfg, SolverOptions opt, const Tensor& g)
+      : cfg_(std::move(cfg)),
+        opt_(opt),
+        g_(g.data().begin(), g.data().end()) {}
 
+  // Programming converted the conductances to doubles once; each call
+  // borrows the calling thread's workspace, so repeated / concurrent mvm()
+  // neither copies the matrix nor allocates relinearization state.
   Tensor mvm(const Tensor& v) override {
-    Solver solver(cfg_, opt_, g_);
-    return solver.solve(v, nullptr);
+    return solve_nodal(cfg_, opt_, g_, v, tls_workspace(), nullptr);
   }
 
  private:
   CrossbarConfig cfg_;
   SolverOptions opt_;
-  Tensor g_;
+  std::vector<double> g_;
 };
 
 }  // namespace
@@ -167,8 +173,8 @@ std::unique_ptr<ProgrammedXbar> CircuitSolverModel::program(
 Tensor solve_crossbar(const CrossbarConfig& cfg, const SolverOptions& opt,
                       const Tensor& g, const Tensor& v, int* sweeps_used) {
   validate_conductances(g, cfg);
-  Solver solver(cfg, opt, g);
-  return solver.solve(v, sweeps_used);
+  const std::vector<double> gd(g.data().begin(), g.data().end());
+  return solve_nodal(cfg, opt, gd, v, tls_workspace(), sweeps_used);
 }
 
 }  // namespace nvm::xbar

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/file_cache.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace nvm::xbar {
@@ -308,10 +309,15 @@ GeniexFit GeniexModel::fit(const CrossbarConfig& cfg,
   const float i_scale = static_cast<float>(cfg.i_scale());
 
   NVM_LOG(Info) << "GENIEx fit for " << cfg.name << ": " << n_samples
-                << " circuit solves";
-  for (std::int64_t s = 0; s < n_samples; ++s) {
-    Tensor g = sample_conductances(cfg, rng);
-    Tensor v = sample_voltages(cfg, rng);
+                << " circuit solves across " << ThreadPool::current().size()
+                << " thread(s)";
+  // Each sample draws from its own split stream and writes disjoint rows
+  // of (x, y), so the solves fan out across the pool with results
+  // bit-identical to a serial run.
+  parallel_for(n_samples, [&](std::int64_t s) {
+    Rng srng = rng.split(static_cast<std::uint64_t>(s));
+    Tensor g = sample_conductances(cfg, srng);
+    Tensor v = sample_voltages(cfg, srng);
     Tensor feats = geniex_features(cfg, g, v);
     Tensor i_ideal = ideal_mvm(g, v);
     Tensor i_ni = solve_crossbar(cfg, opt.solver, g, v);
@@ -322,7 +328,7 @@ GeniexFit GeniexModel::fit(const CrossbarConfig& cfg,
       const float denom = std::max(i_ideal[j], kGeniexRelFloor * i_scale);
       y[row] = (i_ideal[j] - i_ni[j]) / denom;
     }
-  }
+  });
 
   // Hold out the last 12.5% of solves for validation.
   const std::int64_t n_train = (n_rows * 7) / 8;
@@ -350,9 +356,11 @@ GeniexFit GeniexModel::fit(const CrossbarConfig& cfg,
 
 GeniexModel GeniexModel::load_or_train(const CrossbarConfig& cfg,
                                        const GeniexTrainOptions& opt) {
+  // "ps1" marks the per-sample split-stream sampling scheme; bumping it
+  // invalidates caches fitted from the old sequential-draw scheme.
   std::ostringstream tag;
   tag << cfg.tag() << "_s" << opt.solver_samples << "_h" << opt.hidden
-      << "_e" << opt.mlp.epochs << "_seed" << opt.seed;
+      << "_e" << opt.mlp.epochs << "_seed" << opt.seed << "_ps1";
   const std::string file = "geniex_" + cfg.name + ".bin";
 
   std::optional<MlpRegressor> mlp;

@@ -1,6 +1,7 @@
 #include "xbar/mvm_model.h"
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace nvm::xbar {
@@ -16,14 +17,22 @@ Tensor ProgrammedXbar::mvm_batch_active(const Tensor& v_batch,
 Tensor ProgrammedXbar::mvm_batch(const Tensor& v_batch) {
   NVM_CHECK_EQ(v_batch.rank(), 2u);
   const std::int64_t rows = v_batch.dim(0), n = v_batch.dim(1);
-  Tensor out;
-  for (std::int64_t k = 0; k < n; ++k) {
+  if (n == 0) return Tensor();
+  const auto eval_column = [&](std::int64_t k, Tensor& out) {
     Tensor v({rows});
     for (std::int64_t i = 0; i < rows; ++i) v[i] = v_batch.at(i, k);
     Tensor y = mvm(v);
-    if (k == 0) out = Tensor({y.numel(), n});
     for (std::int64_t j = 0; j < y.numel(); ++j) out.at(j, k) = y[j];
-  }
+  };
+  // Column 0 runs inline to size the output; the remaining independent
+  // columns fan out across the pool (each writes a disjoint column, so
+  // results are bit-identical for any thread count).
+  Tensor v0({rows});
+  for (std::int64_t i = 0; i < rows; ++i) v0[i] = v_batch.at(i, 0);
+  Tensor y0 = mvm(v0);
+  Tensor out({y0.numel(), n});
+  for (std::int64_t j = 0; j < y0.numel(); ++j) out.at(j, 0) = y0[j];
+  parallel_for(n - 1, [&](std::int64_t k) { eval_column(k + 1, out); });
   return out;
 }
 

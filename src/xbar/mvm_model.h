@@ -19,14 +19,25 @@
 namespace nvm::xbar {
 
 /// A conductance matrix resident on a (model of a) crossbar.
+///
+/// Thread-safety contract: after program() returns, a ProgrammedXbar is
+/// immutable — mvm()/mvm_batch()/mvm_batch_active() must be safe to call
+/// concurrently on the same object. The parallel execution layer relies on
+/// this in two places: the default mvm_batch() fans input vectors across
+/// the thread pool, and puma::TiledMatrix::matmul evaluates programmed
+/// tiles concurrently. Implementations needing mutable solve state keep it
+/// per-thread (see SolverProgrammed's thread-local workspace).
 class ProgrammedXbar {
  public:
   virtual ~ProgrammedXbar() = default;
 
-  /// Single-vector MVM: (rows) -> (cols).
+  /// Single-vector MVM: (rows) -> (cols). Must be const-like (see class
+  /// comment): no observable mutation of shared state.
   virtual Tensor mvm(const Tensor& v) = 0;
 
-  /// Batched MVM: v_batch is (rows, n) -> (cols, n). Default loops mvm().
+  /// Batched MVM: v_batch is (rows, n) -> (cols, n). Default evaluates
+  /// each column through mvm(), fanning the independent columns across
+  /// nvm::parallel_for; results are bit-identical for any thread count.
   virtual Tensor mvm_batch(const Tensor& v_batch);
 
   /// Batched MVM with an activity hint for partially-used tiles: rows

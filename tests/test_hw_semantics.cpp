@@ -3,14 +3,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
+#include "core/evaluator.h"
 #include "defense/defenses.h"
 #include "nn/resnet.h"
 #include "nn/trainer.h"
 #include "puma/hw_network.h"
 #include "test_util.h"
+#include "xbar/circuit_solver.h"
 #include "xbar/fast_noise.h"
 
 namespace nvm {
@@ -149,6 +153,111 @@ TEST(HwSemantics, DeploymentAccuracyReasonableOnToyTask) {
   const float hw = nn::evaluate_accuracy(f.net, f.images, f.labels);
   EXPECT_GT(ideal, 90.0f);
   EXPECT_GT(hw, ideal - 20.0f);
+}
+
+// ---- Parallel execution model: parallel == serial, bit for bit. --------
+
+nn::Network make_toy_resnet(std::uint64_t seed) {
+  Rng r(seed);
+  nn::ResnetCifarSpec spec;
+  spec.blocks_per_stage = 1;
+  spec.widths = {4, 8, 8};
+  spec.num_classes = 2;
+  return nn::make_resnet_cifar(spec, r);
+}
+
+/// Weight-exact clone of the fixture network (round-trip through the
+/// binary serializer), giving the replica overloads an independent layer
+/// tree with identical parameters and BN statistics.
+nn::Network clone_fixture_net() {
+  Fixture& f = fixture();
+  nn::Network copy = make_toy_resnet(62);
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  f.net.save(w);
+  BinaryReader r(buf);
+  copy.load(r);
+  return copy;
+}
+
+TEST(HwSemantics, TiledMatmulBitIdenticalAcrossThreadCounts) {
+  Rng rng(97);
+  Tensor w = Tensor::normal({40, 70}, 0.0f, 0.2f, rng);  // 2x3 tile grid
+  Tensor x = Tensor::uniform({70, 9}, 0.0f, 1.0f, rng);
+  auto model = std::make_shared<xbar::FastNoiseModel>(xbar::xbar_32x32_100k());
+  puma::TiledMatrix tiled(w, model, puma::HwConfig{});
+
+  ThreadPool serial(1), wide(4);
+  Tensor r_serial, r_wide;
+  {
+    ThreadPool::ScopedUse use(serial);
+    r_serial = tiled.matmul(x, 1.0f);
+  }
+  {
+    ThreadPool::ScopedUse use(wide);
+    r_wide = tiled.matmul(x, 1.0f);
+  }
+  EXPECT_EQ(max_abs_diff(r_serial, r_wide), 0.0f);
+}
+
+TEST(HwSemantics, SolverBatchBitIdenticalAcrossThreadCounts) {
+  xbar::CrossbarConfig cfg = xbar::xbar_32x32_100k();
+  cfg.rows = cfg.cols = 16;
+  xbar::CircuitSolverModel model(cfg);
+  Rng rng(98);
+  auto programmed = model.program(Tensor::uniform(
+      {16, 16}, static_cast<float>(cfg.g_off()), static_cast<float>(cfg.g_on()),
+      rng));
+  Tensor vb = Tensor::uniform({16, 7}, 0.0f,
+                              static_cast<float>(cfg.v_read), rng);
+
+  ThreadPool serial(1), wide(4);
+  Tensor r_serial, r_wide;
+  {
+    ThreadPool::ScopedUse use(serial);
+    r_serial = programmed->mvm_batch(vb);
+  }
+  {
+    ThreadPool::ScopedUse use(wide);
+    r_wide = programmed->mvm_batch(vb);
+  }
+  EXPECT_EQ(max_abs_diff(r_serial, r_wide), 0.0f);
+}
+
+TEST(HwSemantics, ParallelAccuracyMatchesSerialExactly) {
+  Fixture& f = fixture();
+  nn::Network replica_net = clone_fixture_net();
+  const core::ForwardFn fns[] = {core::plain_forward(f.net),
+                                 core::plain_forward(replica_net)};
+
+  const float serial = core::accuracy(fns[0], f.images, f.labels);
+  ThreadPool wide(4);
+  ThreadPool::ScopedUse use(wide);
+  const float parallel = core::accuracy(std::span<const core::ForwardFn>(fns),
+                                        f.images, f.labels);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(HwSemantics, ParallelPgdCraftingMatchesSerialExactly) {
+  Fixture& f = fixture();
+  nn::Network replica_net = clone_fixture_net();
+  attack::NetworkAttackModel a0(f.net), a1(replica_net);
+
+  attack::PgdOptions opt;
+  opt.iters = 3;  // enough to exercise seeding + gradient path
+  const std::span<const Tensor> images(f.images.data(), 10);
+  const std::span<const std::int64_t> labels(f.labels.data(), 10);
+
+  const std::vector<Tensor> serial = core::craft_pgd(a0, images, labels, opt);
+  attack::AttackModel* attackers[] = {&a0, &a1};
+  ThreadPool wide(4);
+  ThreadPool::ScopedUse use(wide);
+  const std::vector<Tensor> parallel = core::craft_pgd(
+      std::span<attack::AttackModel* const>(attackers), images, labels, opt);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_EQ(max_abs_diff(serial[i], parallel[i]), 0.0f) << "image " << i;
 }
 
 TEST(HwSemantics, TwoSequentialDeploymentsAreIndependent) {
