@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bitslice.dir/bench_ablation_bitslice.cpp.o"
+  "CMakeFiles/bench_ablation_bitslice.dir/bench_ablation_bitslice.cpp.o.d"
+  "bench_ablation_bitslice"
+  "bench_ablation_bitslice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitslice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_chip_variation.dir/bench_ext_chip_variation.cpp.o"
+  "CMakeFiles/bench_ext_chip_variation.dir/bench_ext_chip_variation.cpp.o.d"
+  "bench_ext_chip_variation"
+  "bench_ext_chip_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_chip_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_ensemble_bb.cpp" "bench/CMakeFiles/bench_fig2_ensemble_bb.dir/bench_fig2_ensemble_bb.cpp.o" "gcc" "bench/CMakeFiles/bench_fig2_ensemble_bb.dir/bench_fig2_ensemble_bb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/nvm_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xbar/CMakeFiles/nvm_xbar.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/nvm_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/attack/CMakeFiles/nvm_attack.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/defense/CMakeFiles/nvm_defense.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/puma/CMakeFiles/nvm_puma.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/nvm_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/nvm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

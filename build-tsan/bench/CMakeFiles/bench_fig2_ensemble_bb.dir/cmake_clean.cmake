@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_ensemble_bb.dir/bench_fig2_ensemble_bb.cpp.o"
+  "CMakeFiles/bench_fig2_ensemble_bb.dir/bench_fig2_ensemble_bb.cpp.o.d"
+  "bench_fig2_ensemble_bb"
+  "bench_fig2_ensemble_bb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_ensemble_bb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

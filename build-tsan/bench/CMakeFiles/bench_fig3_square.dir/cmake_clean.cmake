@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_square.dir/bench_fig3_square.cpp.o"
+  "CMakeFiles/bench_fig3_square.dir/bench_fig3_square.cpp.o.d"
+  "bench_fig3_square"
+  "bench_fig3_square.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_square.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

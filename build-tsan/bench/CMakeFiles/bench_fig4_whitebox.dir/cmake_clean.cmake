@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_whitebox.dir/bench_fig4_whitebox.cpp.o"
+  "CMakeFiles/bench_fig4_whitebox.dir/bench_fig4_whitebox.cpp.o.d"
+  "bench_fig4_whitebox"
+  "bench_fig4_whitebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_whitebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

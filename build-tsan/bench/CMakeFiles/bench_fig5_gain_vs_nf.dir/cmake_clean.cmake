@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gain_vs_nf.dir/bench_fig5_gain_vs_nf.cpp.o"
+  "CMakeFiles/bench_fig5_gain_vs_nf.dir/bench_fig5_gain_vs_nf.cpp.o.d"
+  "bench_fig5_gain_vs_nf"
+  "bench_fig5_gain_vs_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gain_vs_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

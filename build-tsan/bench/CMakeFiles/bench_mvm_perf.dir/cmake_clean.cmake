@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mvm_perf.dir/bench_mvm_perf.cpp.o"
+  "CMakeFiles/bench_mvm_perf.dir/bench_mvm_perf.cpp.o.d"
+  "bench_mvm_perf"
+  "bench_mvm_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mvm_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

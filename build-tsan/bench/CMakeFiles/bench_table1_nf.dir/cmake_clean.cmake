@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_nf.dir/bench_table1_nf.cpp.o"
+  "CMakeFiles/bench_table1_nf.dir/bench_table1_nf.cpp.o.d"
+  "bench_table1_nf"
+  "bench_table1_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_summary.dir/bench_table3_summary.cpp.o"
+  "CMakeFiles/bench_table3_summary.dir/bench_table3_summary.cpp.o.d"
+  "bench_table3_summary"
+  "bench_table3_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_adaptive.dir/bench_table4_adaptive.cpp.o"
+  "CMakeFiles/bench_table4_adaptive.dir/bench_table4_adaptive.cpp.o.d"
+  "bench_table4_adaptive"
+  "bench_table4_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_sweep.dir/attack_sweep.cpp.o"
+  "CMakeFiles/attack_sweep.dir/attack_sweep.cpp.o.d"
+  "attack_sweep"
+  "attack_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

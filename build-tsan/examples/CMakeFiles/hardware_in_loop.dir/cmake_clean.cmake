@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardware_in_loop.dir/hardware_in_loop.cpp.o"
+  "CMakeFiles/hardware_in_loop.dir/hardware_in_loop.cpp.o.d"
+  "hardware_in_loop"
+  "hardware_in_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardware_in_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvmrobust_cli.dir/nvmrobust_cli.cpp.o"
+  "CMakeFiles/nvmrobust_cli.dir/nvmrobust_cli.cpp.o.d"
+  "nvmrobust_cli"
+  "nvmrobust_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvmrobust_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

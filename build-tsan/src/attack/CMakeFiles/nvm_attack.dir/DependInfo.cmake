@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack_model.cpp" "src/attack/CMakeFiles/nvm_attack.dir/attack_model.cpp.o" "gcc" "src/attack/CMakeFiles/nvm_attack.dir/attack_model.cpp.o.d"
+  "/root/repo/src/attack/ensemble_bb.cpp" "src/attack/CMakeFiles/nvm_attack.dir/ensemble_bb.cpp.o" "gcc" "src/attack/CMakeFiles/nvm_attack.dir/ensemble_bb.cpp.o.d"
+  "/root/repo/src/attack/noise.cpp" "src/attack/CMakeFiles/nvm_attack.dir/noise.cpp.o" "gcc" "src/attack/CMakeFiles/nvm_attack.dir/noise.cpp.o.d"
+  "/root/repo/src/attack/pgd.cpp" "src/attack/CMakeFiles/nvm_attack.dir/pgd.cpp.o" "gcc" "src/attack/CMakeFiles/nvm_attack.dir/pgd.cpp.o.d"
+  "/root/repo/src/attack/square.cpp" "src/attack/CMakeFiles/nvm_attack.dir/square.cpp.o" "gcc" "src/attack/CMakeFiles/nvm_attack.dir/square.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/nn/CMakeFiles/nvm_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/nvm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_attack.dir/attack_model.cpp.o"
+  "CMakeFiles/nvm_attack.dir/attack_model.cpp.o.d"
+  "CMakeFiles/nvm_attack.dir/ensemble_bb.cpp.o"
+  "CMakeFiles/nvm_attack.dir/ensemble_bb.cpp.o.d"
+  "CMakeFiles/nvm_attack.dir/noise.cpp.o"
+  "CMakeFiles/nvm_attack.dir/noise.cpp.o.d"
+  "CMakeFiles/nvm_attack.dir/pgd.cpp.o"
+  "CMakeFiles/nvm_attack.dir/pgd.cpp.o.d"
+  "CMakeFiles/nvm_attack.dir/square.cpp.o"
+  "CMakeFiles/nvm_attack.dir/square.cpp.o.d"
+  "libnvm_attack.a"
+  "libnvm_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

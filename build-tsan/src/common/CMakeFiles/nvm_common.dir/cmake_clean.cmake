@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_common.dir/env.cpp.o"
+  "CMakeFiles/nvm_common.dir/env.cpp.o.d"
+  "CMakeFiles/nvm_common.dir/file_cache.cpp.o"
+  "CMakeFiles/nvm_common.dir/file_cache.cpp.o.d"
+  "CMakeFiles/nvm_common.dir/logging.cpp.o"
+  "CMakeFiles/nvm_common.dir/logging.cpp.o.d"
+  "CMakeFiles/nvm_common.dir/rng.cpp.o"
+  "CMakeFiles/nvm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/nvm_common.dir/serialize.cpp.o"
+  "CMakeFiles/nvm_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/nvm_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/nvm_common.dir/thread_pool.cpp.o.d"
+  "libnvm_common.a"
+  "libnvm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_core.dir/evaluator.cpp.o"
+  "CMakeFiles/nvm_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/nvm_core.dir/report.cpp.o"
+  "CMakeFiles/nvm_core.dir/report.cpp.o.d"
+  "CMakeFiles/nvm_core.dir/tasks.cpp.o"
+  "CMakeFiles/nvm_core.dir/tasks.cpp.o.d"
+  "libnvm_core.a"
+  "libnvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

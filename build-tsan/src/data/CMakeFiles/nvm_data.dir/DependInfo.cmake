@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cifar_loader.cpp" "src/data/CMakeFiles/nvm_data.dir/cifar_loader.cpp.o" "gcc" "src/data/CMakeFiles/nvm_data.dir/cifar_loader.cpp.o.d"
+  "/root/repo/src/data/synth_vision.cpp" "src/data/CMakeFiles/nvm_data.dir/synth_vision.cpp.o" "gcc" "src/data/CMakeFiles/nvm_data.dir/synth_vision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/nvm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_data.dir/cifar_loader.cpp.o"
+  "CMakeFiles/nvm_data.dir/cifar_loader.cpp.o.d"
+  "CMakeFiles/nvm_data.dir/synth_vision.cpp.o"
+  "CMakeFiles/nvm_data.dir/synth_vision.cpp.o.d"
+  "libnvm_data.a"
+  "libnvm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_defense.dir/defenses.cpp.o"
+  "CMakeFiles/nvm_defense.dir/defenses.cpp.o.d"
+  "libnvm_defense.a"
+  "libnvm_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/nvm_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/nvm_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/nvm_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/nvm_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/nvm_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/nvm_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/mvm_engine.cpp" "src/nn/CMakeFiles/nvm_nn.dir/mvm_engine.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/mvm_engine.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/nvm_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/nvm_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/nvm_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/resnet.cpp" "src/nn/CMakeFiles/nvm_nn.dir/resnet.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/resnet.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/nvm_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/nvm_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/nvm_nn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/nvm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

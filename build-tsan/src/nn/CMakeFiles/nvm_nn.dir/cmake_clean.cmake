@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_nn.dir/activations.cpp.o"
+  "CMakeFiles/nvm_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/nvm_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/conv.cpp.o"
+  "CMakeFiles/nvm_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/layer.cpp.o"
+  "CMakeFiles/nvm_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/linear.cpp.o"
+  "CMakeFiles/nvm_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/loss.cpp.o"
+  "CMakeFiles/nvm_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/mvm_engine.cpp.o"
+  "CMakeFiles/nvm_nn.dir/mvm_engine.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/network.cpp.o"
+  "CMakeFiles/nvm_nn.dir/network.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/nvm_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/pool.cpp.o"
+  "CMakeFiles/nvm_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/resnet.cpp.o"
+  "CMakeFiles/nvm_nn.dir/resnet.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/sequential.cpp.o"
+  "CMakeFiles/nvm_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/nvm_nn.dir/trainer.cpp.o"
+  "CMakeFiles/nvm_nn.dir/trainer.cpp.o.d"
+  "libnvm_nn.a"
+  "libnvm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/puma/bit_slicing.cpp" "src/puma/CMakeFiles/nvm_puma.dir/bit_slicing.cpp.o" "gcc" "src/puma/CMakeFiles/nvm_puma.dir/bit_slicing.cpp.o.d"
+  "/root/repo/src/puma/cost_model.cpp" "src/puma/CMakeFiles/nvm_puma.dir/cost_model.cpp.o" "gcc" "src/puma/CMakeFiles/nvm_puma.dir/cost_model.cpp.o.d"
+  "/root/repo/src/puma/engine.cpp" "src/puma/CMakeFiles/nvm_puma.dir/engine.cpp.o" "gcc" "src/puma/CMakeFiles/nvm_puma.dir/engine.cpp.o.d"
+  "/root/repo/src/puma/hw_network.cpp" "src/puma/CMakeFiles/nvm_puma.dir/hw_network.cpp.o" "gcc" "src/puma/CMakeFiles/nvm_puma.dir/hw_network.cpp.o.d"
+  "/root/repo/src/puma/quantize.cpp" "src/puma/CMakeFiles/nvm_puma.dir/quantize.cpp.o" "gcc" "src/puma/CMakeFiles/nvm_puma.dir/quantize.cpp.o.d"
+  "/root/repo/src/puma/tiled_mvm.cpp" "src/puma/CMakeFiles/nvm_puma.dir/tiled_mvm.cpp.o" "gcc" "src/puma/CMakeFiles/nvm_puma.dir/tiled_mvm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/nn/CMakeFiles/nvm_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/xbar/CMakeFiles/nvm_xbar.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/nvm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

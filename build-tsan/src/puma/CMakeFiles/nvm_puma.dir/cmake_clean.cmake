@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_puma.dir/bit_slicing.cpp.o"
+  "CMakeFiles/nvm_puma.dir/bit_slicing.cpp.o.d"
+  "CMakeFiles/nvm_puma.dir/cost_model.cpp.o"
+  "CMakeFiles/nvm_puma.dir/cost_model.cpp.o.d"
+  "CMakeFiles/nvm_puma.dir/engine.cpp.o"
+  "CMakeFiles/nvm_puma.dir/engine.cpp.o.d"
+  "CMakeFiles/nvm_puma.dir/hw_network.cpp.o"
+  "CMakeFiles/nvm_puma.dir/hw_network.cpp.o.d"
+  "CMakeFiles/nvm_puma.dir/quantize.cpp.o"
+  "CMakeFiles/nvm_puma.dir/quantize.cpp.o.d"
+  "CMakeFiles/nvm_puma.dir/tiled_mvm.cpp.o"
+  "CMakeFiles/nvm_puma.dir/tiled_mvm.cpp.o.d"
+  "libnvm_puma.a"
+  "libnvm_puma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_puma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_tensor.dir/ops.cpp.o"
+  "CMakeFiles/nvm_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/nvm_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/nvm_tensor.dir/tensor.cpp.o.d"
+  "libnvm_tensor.a"
+  "libnvm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xbar/circuit_solver.cpp" "src/xbar/CMakeFiles/nvm_xbar.dir/circuit_solver.cpp.o" "gcc" "src/xbar/CMakeFiles/nvm_xbar.dir/circuit_solver.cpp.o.d"
+  "/root/repo/src/xbar/config.cpp" "src/xbar/CMakeFiles/nvm_xbar.dir/config.cpp.o" "gcc" "src/xbar/CMakeFiles/nvm_xbar.dir/config.cpp.o.d"
+  "/root/repo/src/xbar/device.cpp" "src/xbar/CMakeFiles/nvm_xbar.dir/device.cpp.o" "gcc" "src/xbar/CMakeFiles/nvm_xbar.dir/device.cpp.o.d"
+  "/root/repo/src/xbar/fast_noise.cpp" "src/xbar/CMakeFiles/nvm_xbar.dir/fast_noise.cpp.o" "gcc" "src/xbar/CMakeFiles/nvm_xbar.dir/fast_noise.cpp.o.d"
+  "/root/repo/src/xbar/geniex.cpp" "src/xbar/CMakeFiles/nvm_xbar.dir/geniex.cpp.o" "gcc" "src/xbar/CMakeFiles/nvm_xbar.dir/geniex.cpp.o.d"
+  "/root/repo/src/xbar/mlp.cpp" "src/xbar/CMakeFiles/nvm_xbar.dir/mlp.cpp.o" "gcc" "src/xbar/CMakeFiles/nvm_xbar.dir/mlp.cpp.o.d"
+  "/root/repo/src/xbar/model_zoo.cpp" "src/xbar/CMakeFiles/nvm_xbar.dir/model_zoo.cpp.o" "gcc" "src/xbar/CMakeFiles/nvm_xbar.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/xbar/mvm_model.cpp" "src/xbar/CMakeFiles/nvm_xbar.dir/mvm_model.cpp.o" "gcc" "src/xbar/CMakeFiles/nvm_xbar.dir/mvm_model.cpp.o.d"
+  "/root/repo/src/xbar/nf.cpp" "src/xbar/CMakeFiles/nvm_xbar.dir/nf.cpp.o" "gcc" "src/xbar/CMakeFiles/nvm_xbar.dir/nf.cpp.o.d"
+  "/root/repo/src/xbar/variation.cpp" "src/xbar/CMakeFiles/nvm_xbar.dir/variation.cpp.o" "gcc" "src/xbar/CMakeFiles/nvm_xbar.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/tensor/CMakeFiles/nvm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/nvm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

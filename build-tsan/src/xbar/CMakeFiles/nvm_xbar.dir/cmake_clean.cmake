@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvm_xbar.dir/circuit_solver.cpp.o"
+  "CMakeFiles/nvm_xbar.dir/circuit_solver.cpp.o.d"
+  "CMakeFiles/nvm_xbar.dir/config.cpp.o"
+  "CMakeFiles/nvm_xbar.dir/config.cpp.o.d"
+  "CMakeFiles/nvm_xbar.dir/device.cpp.o"
+  "CMakeFiles/nvm_xbar.dir/device.cpp.o.d"
+  "CMakeFiles/nvm_xbar.dir/fast_noise.cpp.o"
+  "CMakeFiles/nvm_xbar.dir/fast_noise.cpp.o.d"
+  "CMakeFiles/nvm_xbar.dir/geniex.cpp.o"
+  "CMakeFiles/nvm_xbar.dir/geniex.cpp.o.d"
+  "CMakeFiles/nvm_xbar.dir/mlp.cpp.o"
+  "CMakeFiles/nvm_xbar.dir/mlp.cpp.o.d"
+  "CMakeFiles/nvm_xbar.dir/model_zoo.cpp.o"
+  "CMakeFiles/nvm_xbar.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/nvm_xbar.dir/mvm_model.cpp.o"
+  "CMakeFiles/nvm_xbar.dir/mvm_model.cpp.o.d"
+  "CMakeFiles/nvm_xbar.dir/nf.cpp.o"
+  "CMakeFiles/nvm_xbar.dir/nf.cpp.o.d"
+  "CMakeFiles/nvm_xbar.dir/variation.cpp.o"
+  "CMakeFiles/nvm_xbar.dir/variation.cpp.o.d"
+  "libnvm_xbar.a"
+  "libnvm_xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvm_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cifar_loader.dir/test_cifar_loader.cpp.o"
+  "CMakeFiles/test_cifar_loader.dir/test_cifar_loader.cpp.o.d"
+  "test_cifar_loader"
+  "test_cifar_loader.pdb"
+  "test_cifar_loader[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cifar_loader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_core.dir/test_data_core.cpp.o"
+  "CMakeFiles/test_data_core.dir/test_data_core.cpp.o.d"
+  "test_data_core"
+  "test_data_core.pdb"
+  "test_data_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

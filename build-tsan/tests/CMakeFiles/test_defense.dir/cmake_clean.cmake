@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_defense.dir/test_defense.cpp.o"
+  "CMakeFiles/test_defense.dir/test_defense.cpp.o.d"
+  "test_defense"
+  "test_defense.pdb"
+  "test_defense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_semantics.dir/test_hw_semantics.cpp.o"
+  "CMakeFiles/test_hw_semantics.dir/test_hw_semantics.cpp.o.d"
+  "test_hw_semantics"
+  "test_hw_semantics.pdb"
+  "test_hw_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

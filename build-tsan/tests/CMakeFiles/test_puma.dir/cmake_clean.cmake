@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_puma.dir/test_puma.cpp.o"
+  "CMakeFiles/test_puma.dir/test_puma.cpp.o.d"
+  "test_puma"
+  "test_puma.pdb"
+  "test_puma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_puma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

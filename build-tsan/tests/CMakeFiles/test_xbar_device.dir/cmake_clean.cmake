@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbar_device.dir/test_xbar_device.cpp.o"
+  "CMakeFiles/test_xbar_device.dir/test_xbar_device.cpp.o.d"
+  "test_xbar_device"
+  "test_xbar_device.pdb"
+  "test_xbar_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbar_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbar_geniex.dir/test_xbar_geniex.cpp.o"
+  "CMakeFiles/test_xbar_geniex.dir/test_xbar_geniex.cpp.o.d"
+  "test_xbar_geniex"
+  "test_xbar_geniex.pdb"
+  "test_xbar_geniex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbar_geniex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

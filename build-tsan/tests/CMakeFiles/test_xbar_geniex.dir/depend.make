@@ -1,0 +1,2 @@
+# Empty dependencies file for test_xbar_geniex.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xbar_solver.dir/test_xbar_solver.cpp.o"
+  "CMakeFiles/test_xbar_solver.dir/test_xbar_solver.cpp.o.d"
+  "test_xbar_solver"
+  "test_xbar_solver.pdb"
+  "test_xbar_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xbar_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ops[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_nn_layers[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_nn_training[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_xbar_device[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_xbar_solver[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_xbar_geniex[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_puma[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_attack[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_defense[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_data_core[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_hw_semantics[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_cifar_loader[1]_include.cmake")
