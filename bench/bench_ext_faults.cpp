@@ -1,0 +1,46 @@
+// Extension experiment: device faults and conductance drift vs intrinsic
+// robustness.
+//
+// The paper argues the crossbar's analog non-idealities degrade adversarial
+// perturbations along with clean signal. Real NVM dies add a second
+// degradation axis the paper holds fixed: manufacturing faults (stuck-at
+// cells, line opens) and retention drift. This bench sweeps both axes with
+// xbar::FaultModel wrapped around the GENIEx surrogate and reports clean
+// vs transferred-PGD accuracy, plus the failure-handling counters (solver
+// non-convergence, surrogate fallbacks) that tell us how hard the fault
+// pattern pushed the models off their nominal operating regime.
+#include "bench_util.h"
+#include "core/fault_sweep.h"
+
+int main() {
+  using namespace nvm;
+  core::Task task = core::task_scifar10();
+  core::PreparedTask prepared = core::prepare(task);
+  auto base = xbar::make_geniex("64x64_100k");
+
+  core::FaultSweepOptions opt;
+  opt.n_eval = env_int("NVMROBUST_FAULT_N", scaled(32, 500));
+  opt.stuck_rates = {0.0, 0.01, 0.02, 0.05};
+  opt.pgd_eps_255 = 2.0f;
+  opt.pgd_iters = 30;
+
+  // Axis 1: stuck-at fault rate (fresh die per rate, no drift).
+  auto by_rate = core::run_fault_sweep(prepared, base, opt);
+  core::print_fault_sweep(task, "geniex/64x64_100k", opt, by_rate);
+
+  // Axis 2: retention drift at a fixed 1% stuck rate.
+  core::FaultSweepOptions drift = opt;
+  drift.stuck_rates = {0.01};
+  drift.drift_times = {0.0, 1e3, 1e5, 1e7};
+  auto by_drift = core::run_fault_sweep(prepared, base, drift);
+  core::print_fault_sweep(task, "geniex/64x64_100k", drift, by_drift);
+
+  std::printf(
+      "\nExpected shape: clean accuracy decays monotonically with fault rate\n"
+      "and drift time; transferred PGD accuracy converges toward clean as\n"
+      "degradation drowns the crafted perturbation (cf. paper SS IV-B, the\n"
+      "non-ideality-as-defense effect). Nonzero fallback counters mean the\n"
+      "surrogate left its trust envelope and the fast-noise model served\n"
+      "those MVMs instead.\n");
+  return 0;
+}

@@ -11,15 +11,22 @@
 //   attack --task NAME [--xbar MODEL] [--eps E/255] [--iters I] [--n K]
 //       Non-adaptive white-box PGD: craft on digital, evaluate digital +
 //       optional crossbar deployment.
+//   fault_sweep --task NAME [--xbar MODEL] [--model geniex|fast_noise|solver]
+//       [--rates R1,R2,...] [--drift T1,T2,...] [--dead_rows R] [--dead_cols R]
+//       [--chip S] [--n K] [--eps E/255] [--iters I] [--attack pgd|square|both|none]
+//       Clean + transferred-adversarial accuracy vs stuck-cell rate and
+//       conductance-drift time, with failure-handling counters per row.
 //
 // All artifacts cache under ./repro_cache; everything is deterministic.
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "attack/pgd.h"
 #include "core/evaluator.h"
+#include "core/fault_sweep.h"
 #include "core/tasks.h"
 #include "puma/hw_network.h"
 #include "xbar/model_zoo.h"
@@ -170,6 +177,59 @@ int cmd_attack(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// "0,0.01,0.05" -> {0, 0.01, 0.05}.
+std::vector<double> parse_list(const std::string& s) {
+  std::vector<double> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(std::stod(item));
+  return out;
+}
+
+int cmd_fault_sweep(const std::map<std::string, std::string>& flags) {
+  core::PreparedTask prepared =
+      core::prepare(find_task(flag_or(flags, "task", "SCIFAR10")));
+  const std::string xbar_name = flag_or(flags, "xbar", "64x64_100k");
+  const std::string model_kind = flag_or(flags, "model", "geniex");
+
+  std::shared_ptr<const xbar::MvmModel> base;
+  if (model_kind == "geniex") {
+    base = xbar::make_geniex(xbar_name);
+  } else if (model_kind == "solver") {
+    base = xbar::make_solver(xbar_name);
+  } else if (model_kind == "fast_noise") {
+    base = std::make_shared<xbar::FastNoiseModel>(
+        xbar::make_solver(xbar_name)->config());
+  } else {
+    std::fprintf(stderr,
+                 "unknown --model '%s' (try: geniex, fast_noise, solver)\n",
+                 model_kind.c_str());
+    return 2;
+  }
+
+  core::FaultSweepOptions opt;
+  if (flags.count("rates")) opt.stuck_rates = parse_list(flags.at("rates"));
+  if (flags.count("drift")) opt.drift_times = parse_list(flags.at("drift"));
+  opt.stuck_on_fraction = flag_or(flags, "stuck_on_frac", 0.5);
+  opt.dead_row_rate = flag_or(flags, "dead_rows", 0.0);
+  opt.dead_col_rate = flag_or(flags, "dead_cols", 0.0);
+  opt.chip_seed = static_cast<std::uint64_t>(flag_or(flags, "chip", 1));
+  opt.n_eval = static_cast<std::int64_t>(flag_or(flags, "n", 32));
+  opt.pgd_eps_255 = static_cast<float>(flag_or(flags, "eps", 2.0));
+  opt.pgd_iters = static_cast<std::int64_t>(flag_or(flags, "iters", 20));
+  opt.square_queries =
+      static_cast<std::int64_t>(flag_or(flags, "queries", 300));
+  const std::string attack_kind = flag_or(flags, "attack", "pgd");
+  opt.run_pgd = attack_kind == "pgd" || attack_kind == "both";
+  opt.run_square = attack_kind == "square" || attack_kind == "both";
+
+  const auto result = core::run_fault_sweep(prepared, base, opt);
+  core::print_fault_sweep(prepared.task, base->name() + "/" + xbar_name, opt,
+                          result);
+  return 0;
+}
+
 void usage() {
   std::printf(
       "usage: nvmrobust_cli <command> [--flag value ...]\n"
@@ -178,6 +238,10 @@ void usage() {
       "  eval   --task NAME [--xbar MODEL]   clean accuracy\n"
       "  attack --task NAME [--xbar MODEL --eps E --iters I]\n"
       "                                      white-box PGD + transfer\n"
+      "  fault_sweep --task NAME [--xbar MODEL --model geniex|fast_noise|solver\n"
+      "              --rates 0,0.01,0.05 --drift 0 --chip S --n K\n"
+      "              --attack pgd|square|both|none --eps E --iters I]\n"
+      "                                      accuracy vs device fault rate\n"
       "crossbar MODEL is one of: 64x64_300k, 32x32_100k, 64x64_100k\n");
 }
 
@@ -194,6 +258,7 @@ int main(int argc, char** argv) {
   if (cmd == "tasks") return cmd_tasks();
   if (cmd == "eval") return cmd_eval(flags);
   if (cmd == "attack") return cmd_attack(flags);
+  if (cmd == "fault_sweep") return cmd_fault_sweep(flags);
   usage();
   return 2;
 }

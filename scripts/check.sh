@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Pre-merge check: tier-1 build + tests, then the same suite under
+# ASan+UBSan (catches the memory/UB class of failures the fault-injection
+# and failure-handling paths are designed to survive).
+#
+# Usage: scripts/check.sh [--skip-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: Release build + ctest =="
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--skip-sanitize" ]]; then
+  echo "== sanitizer pass skipped =="
+  exit 0
+fi
+
+echo "== sanitizer: ASan+UBSan build + ctest =="
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== all checks passed =="

@@ -3,15 +3,35 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/health.h"
 #include "common/logging.h"
 
 namespace nvm {
 
 namespace {
-constexpr std::uint32_t kMagic = 0x4e564d43;  // "NVMC"
+
+// "NVMD": checksummed format — magic, tag, payload CRC32, payload size,
+// payload bytes. The previous "NVMC" magic (no checksum) is treated as
+// stale, so old caches recompute once rather than load unverified.
+constexpr std::uint32_t kMagic = 0x4e564d44;
+
+/// Moves a failed entry aside as <path>.corrupt (best-effort, replaces any
+/// previous quarantine) so the bad bytes survive for inspection while the
+/// slot frees up for recompute.
+void quarantine(const std::string& path, const char* why) {
+  const std::uint64_t n = bump(HealthCounter::CacheCorrupt);
+  if (health_should_log(n))
+    NVM_LOG(Warn) << "cache entry " << path << " " << why
+                  << "; quarantined + recomputing (corrupt total " << n << ")";
+  std::error_code ec;
+  std::filesystem::rename(path, path + ".corrupt", ec);
+  if (ec) std::filesystem::remove(path, ec);
 }
+
+}  // namespace
 
 std::string cache_dir() {
   const char* env = std::getenv("NVMROBUST_CACHE_DIR");
@@ -26,23 +46,61 @@ bool cache_load(const std::string& name, const std::string& tag,
   const std::string path = cache_dir() + "/" + name;
   std::ifstream is(path, std::ios::binary);
   if (!is) return false;
+  std::string payload;
   try {
-    BinaryReader r(is);
-    if (r.read_u32() != kMagic) return false;
-    if (r.read_string() != tag) {
+    BinaryReader header(is);
+    if (header.read_u32() != kMagic) {
+      NVM_LOG(Info) << "cache entry " << name
+                    << " has unknown/legacy format; recomputing";
+      return false;
+    }
+    if (header.read_string() != tag) {
       NVM_LOG(Info) << "cache entry " << name << " stale (tag mismatch)";
       return false;
     }
+    const std::uint32_t want_crc = header.read_u32();
+    const std::uint64_t size = header.read_u64();
+    NVM_CHECK(size < (1ull << 33), "implausible payload size " << size);
+    payload.resize(size);
+    is.read(payload.data(), static_cast<std::streamsize>(size));
+    if (static_cast<std::uint64_t>(is.gcount()) != size) {
+      quarantine(path, "is truncated");
+      return false;
+    }
+    if (crc32(payload.data(), payload.size()) != want_crc) {
+      quarantine(path, "failed its checksum");
+      return false;
+    }
+  } catch (const std::exception&) {
+    // Garbage header: truncated fields or an absurd length prefix.
+    quarantine(path, "has a corrupt header");
+    return false;
+  }
+  try {
+    std::istringstream ps(payload);
+    BinaryReader r(ps);
     load(r);
     return true;
-  } catch (const CheckError&) {
-    NVM_LOG(Warn) << "cache entry " << name << " corrupt; recomputing";
+  } catch (const std::exception&) {
+    // Checksum passed but the payload doesn't parse — a schema change the
+    // tag failed to capture, or a bug in the loader. Same recovery path.
+    quarantine(path, "parsed inconsistently");
     return false;
   }
 }
 
 void cache_store(const std::string& name, const std::string& tag,
                  const std::function<void(BinaryWriter&)>& save) {
+  // Serialize to memory first: the checksum needs the whole payload, and
+  // a save() that throws must not leave a half-written file behind.
+  std::ostringstream buf;
+  {
+    BinaryWriter w(buf);
+    save(w);
+    NVM_CHECK(w.ok(), "cache payload serialization failed for " << name);
+  }
+  const std::string payload = buf.str();
+
   const std::string path = cache_dir() + "/" + name;
   const std::string tmp = path + ".tmp";
   {
@@ -51,7 +109,9 @@ void cache_store(const std::string& name, const std::string& tag,
     BinaryWriter w(os);
     w.write_u32(kMagic);
     w.write_string(tag);
-    save(w);
+    w.write_u32(crc32(payload.data(), payload.size()));
+    w.write_u64(payload.size());
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
     NVM_CHECK(w.ok(), "cache write failed for " << tmp);
   }
   std::error_code ec;

@@ -3,6 +3,12 @@
 // overridable via the NVMROBUST_CACHE_DIR env var) and are keyed by a
 // caller-chosen name plus a content tag; a tag mismatch invalidates the
 // entry so stale caches never poison an experiment.
+//
+// Every payload carries a CRC32 content checksum. An entry that is
+// truncated, bit-flipped, or otherwise unparseable is never handed to the
+// caller: it is quarantined on disk as <name>.corrupt, counted under
+// HealthCounter::CacheCorrupt, and reported as a miss so the artifact is
+// recomputed — corruption costs one recompute, never a wrong experiment.
 #pragma once
 
 #include <functional>

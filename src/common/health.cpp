@@ -1,0 +1,63 @@
+#include "common/health.h"
+
+#include <array>
+#include <atomic>
+#include <sstream>
+
+namespace nvm {
+
+namespace {
+
+std::array<std::atomic<std::uint64_t>, kHealthCounterCount>& counters() {
+  static std::array<std::atomic<std::uint64_t>, kHealthCounterCount> c{};
+  return c;
+}
+
+}  // namespace
+
+std::uint64_t bump(HealthCounter c, std::uint64_t n) {
+  return counters()[static_cast<int>(c)].fetch_add(
+             n, std::memory_order_relaxed) +
+         n;
+}
+
+std::uint64_t health_value(HealthCounter c) {
+  return counters()[static_cast<int>(c)].load(std::memory_order_relaxed);
+}
+
+HealthSnapshot health_snapshot() {
+  HealthSnapshot s;
+  s.solver_nonconverged = health_value(HealthCounter::SolverNonConverged);
+  s.nonfinite_outputs = health_value(HealthCounter::NonFiniteOutput);
+  s.surrogate_fallbacks = health_value(HealthCounter::SurrogateFallback);
+  s.cache_corrupt = health_value(HealthCounter::CacheCorrupt);
+  return s;
+}
+
+HealthSnapshot HealthSnapshot::delta_since(const HealthSnapshot& since) const {
+  HealthSnapshot d;
+  d.solver_nonconverged = solver_nonconverged - since.solver_nonconverged;
+  d.nonfinite_outputs = nonfinite_outputs - since.nonfinite_outputs;
+  d.surrogate_fallbacks = surrogate_fallbacks - since.surrogate_fallbacks;
+  d.cache_corrupt = cache_corrupt - since.cache_corrupt;
+  return d;
+}
+
+bool HealthSnapshot::all_zero() const {
+  return solver_nonconverged == 0 && nonfinite_outputs == 0 &&
+         surrogate_fallbacks == 0 && cache_corrupt == 0;
+}
+
+std::string HealthSnapshot::summary() const {
+  std::ostringstream os;
+  os << "solver_nc=" << solver_nonconverged
+     << " nonfinite=" << nonfinite_outputs
+     << " fallback=" << surrogate_fallbacks << " cache=" << cache_corrupt;
+  return os.str();
+}
+
+void reset_health_counters() {
+  for (auto& c : counters()) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace nvm

@@ -1,8 +1,41 @@
 #include "common/serialize.h"
 
+#include <array>
+
 #include "common/check.h"
 
 namespace nvm {
+
+namespace {
+
+/// Largest plausible element count for a length-prefixed field. Cache
+/// payloads are at most a few hundred MB; anything above this is a
+/// corrupted length, not data.
+constexpr std::uint64_t kMaxSerializedCount = 1ull << 32;
+
+const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto& table = crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
 
 void BinaryWriter::write_u32(std::uint32_t v) {
   os_.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -67,18 +100,21 @@ double BinaryReader::read_f64() {
 }
 std::string BinaryReader::read_string() {
   const auto n = read_u64();
+  NVM_CHECK(n < kMaxSerializedCount, "implausible string length " << n);
   std::string s(n, '\0');
   if (n > 0) read_raw(s.data(), n);
   return s;
 }
 std::vector<float> BinaryReader::read_f32_vec() {
   const auto n = read_u64();
+  NVM_CHECK(n < kMaxSerializedCount, "implausible vector length " << n);
   std::vector<float> v(n);
   if (n > 0) read_raw(v.data(), n * sizeof(float));
   return v;
 }
 std::vector<std::int64_t> BinaryReader::read_i64_vec() {
   const auto n = read_u64();
+  NVM_CHECK(n < kMaxSerializedCount, "implausible vector length " << n);
   std::vector<std::int64_t> v(n);
   if (n > 0) read_raw(v.data(), n * sizeof(std::int64_t));
   return v;

@@ -11,6 +11,11 @@
 
 namespace nvm {
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of a byte range,
+/// optionally chained via `seed` (pass a previous result to continue).
+/// Used by the file cache to detect truncated or bit-flipped payloads.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
 /// Streaming binary writer.
 class BinaryWriter {
  public:
@@ -41,6 +46,9 @@ class BinaryReader {
   std::int64_t read_i64();
   float read_f32();
   double read_f64();
+  /// Length-prefixed reads reject implausible sizes (> 2^32 elements)
+  /// before allocating, so a corrupted length field throws CheckError
+  /// instead of dying in the allocator.
   std::string read_string();
   std::vector<float> read_f32_vec();
   std::vector<std::int64_t> read_i64_vec();

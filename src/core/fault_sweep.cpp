@@ -1,0 +1,175 @@
+#include "core/fault_sweep.h"
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "attack/attack_model.h"
+#include "common/check.h"
+#include "common/serialize.h"
+#include "common/thread_pool.h"
+#include "core/evaluator.h"
+#include "core/report.h"
+#include "puma/hw_network.h"
+
+namespace nvm::core {
+
+namespace {
+
+/// Functionally-identical copy of the prepared network (fresh layer
+/// objects, same weights), obtained via a serialize roundtrip.
+nn::Network clone_network(const PreparedTask& prepared) {
+  Rng rng(prepared.task.train_config.seed);
+  nn::Network copy = prepared.task.make_network(rng);
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  // save() only reads parameters; the const_cast spares Network a const
+  // save overload.
+  const_cast<nn::Network&>(prepared.network).save(w);
+  BinaryReader r(buf);
+  copy.load(r);
+  return copy;
+}
+
+/// One evaluation replica: a network copy plus (while a grid point is
+/// active) its crossbar deployment.
+struct Replica {
+  explicit Replica(const PreparedTask& prepared)
+      : net(clone_network(prepared)) {}
+  nn::Network net;
+  std::unique_ptr<puma::HwDeployment> deployment;
+};
+
+std::string fmt_rate(double r) {
+  std::ostringstream os;
+  os << r;
+  return os.str();
+}
+
+std::string fmt_acc(float a) { return a < 0.0f ? std::string("-") : fmt(a); }
+
+}  // namespace
+
+FaultSweepResult run_fault_sweep(
+    PreparedTask& prepared,
+    const std::shared_ptr<const xbar::MvmModel>& base_model,
+    const FaultSweepOptions& opt) {
+  NVM_CHECK(base_model != nullptr, "fault sweep needs a base model");
+  NVM_CHECK(!opt.stuck_rates.empty() && !opt.drift_times.empty(),
+            "fault sweep needs a non-empty rate/drift grid");
+  NVM_CHECK(opt.stuck_on_fraction >= 0.0 && opt.stuck_on_fraction <= 1.0,
+            "stuck_on_fraction must lie in [0, 1]");
+
+  const std::size_t n_rep =
+      opt.replicas > 0 ? static_cast<std::size_t>(opt.replicas)
+                       : ThreadPool::current().size();
+  const auto images = prepared.eval_images(opt.n_eval);
+  const auto labels = prepared.eval_labels(opt.n_eval);
+  const std::vector<Tensor> calib = prepared.calibration_images();
+
+  std::vector<std::unique_ptr<Replica>> reps;
+  reps.reserve(n_rep);
+  for (std::size_t i = 0; i < n_rep; ++i)
+    reps.push_back(std::make_unique<Replica>(prepared));
+  std::vector<ForwardFn> fns;
+  fns.reserve(n_rep);
+  for (auto& rep : reps) fns.push_back(plain_forward(rep->net));
+
+  FaultSweepResult result;
+  result.digital_clean = accuracy(fns, images, labels);
+
+  // Adversarial sets are crafted once against the digital network — the
+  // paper's non-adaptive transfer setting — then replayed on every faulty
+  // deployment.
+  std::vector<Tensor> adv_pgd, adv_square;
+  if (opt.run_pgd || opt.run_square) {
+    std::vector<attack::NetworkAttackModel> attackers;
+    attackers.reserve(n_rep);
+    for (auto& rep : reps) attackers.emplace_back(rep->net);
+    std::vector<attack::AttackModel*> ptrs;
+    ptrs.reserve(n_rep);
+    for (auto& a : attackers) ptrs.push_back(&a);
+    if (opt.run_pgd) {
+      attack::PgdOptions pgd;
+      pgd.epsilon = prepared.task.scaled_eps(opt.pgd_eps_255);
+      pgd.iters = opt.pgd_iters;
+      adv_pgd = craft_pgd(ptrs, images, labels, pgd);
+      result.digital_pgd = accuracy(fns, adv_pgd, labels);
+    }
+    if (opt.run_square) {
+      attack::SquareOptions sq;
+      sq.epsilon = prepared.task.scaled_eps(opt.pgd_eps_255);
+      sq.max_queries = opt.square_queries;
+      adv_square = craft_square(ptrs, images, labels, sq);
+      result.digital_square = accuracy(fns, adv_square, labels);
+    }
+  }
+
+  const HealthSnapshot sweep_start = health_snapshot();
+  for (double rate : opt.stuck_rates) {
+    for (double t : opt.drift_times) {
+      xbar::FaultOptions fo;
+      fo.stuck_on_rate = rate * opt.stuck_on_fraction;
+      fo.stuck_off_rate = rate * (1.0 - opt.stuck_on_fraction);
+      fo.dead_row_rate = opt.dead_row_rate;
+      fo.dead_col_rate = opt.dead_col_rate;
+      fo.drift_time = t;
+      fo.chip_seed = opt.chip_seed;
+      auto faulty = std::make_shared<xbar::FaultModel>(base_model, fo);
+
+      FaultSweepRow row;
+      row.fault = fo;
+      row.stuck_on_cells = faulty->map().stuck_on_cells;
+      row.stuck_off_cells = faulty->map().stuck_off_cells;
+      row.dead_rows = faulty->map().dead_rows;
+      row.dead_cols = faulty->map().dead_cols;
+
+      const HealthSnapshot before = health_snapshot();
+      for (auto& rep : reps)
+        rep->deployment = std::make_unique<puma::HwDeployment>(
+            rep->net, faulty, std::span<const Tensor>(calib));
+      row.clean = accuracy(fns, images, labels);
+      if (opt.run_pgd)
+        row.pgd = accuracy(fns, std::span<const Tensor>(adv_pgd), labels);
+      if (opt.run_square)
+        row.square =
+            accuracy(fns, std::span<const Tensor>(adv_square), labels);
+      for (auto& rep : reps) rep->deployment.reset();
+      row.health = health_snapshot().delta_since(before);
+      result.rows.push_back(std::move(row));
+    }
+  }
+  result.total = health_snapshot().delta_since(sweep_start);
+  return result;
+}
+
+void print_fault_sweep(const Task& task, const std::string& model_name,
+                       const FaultSweepOptions& opt,
+                       const FaultSweepResult& result) {
+  TablePrinter table({"stuck rate", "drift t(s)", "clean %", "PGD %",
+                      "Square %", "stuck on/off", "dead r/c", "solver_nc",
+                      "fallback", "nonfinite"});
+  table.add_row({"digital", "-", fmt(result.digital_clean),
+                 fmt_acc(result.digital_pgd), fmt_acc(result.digital_square),
+                 "-", "-", "-", "-", "-"});
+  for (const auto& row : result.rows) {
+    const double rate = row.fault.stuck_on_rate + row.fault.stuck_off_rate;
+    table.add_row(
+        {fmt_rate(rate), fmt_rate(row.fault.drift_time), fmt(row.clean),
+         fmt_acc(row.pgd), fmt_acc(row.square),
+         std::to_string(row.stuck_on_cells) + "/" +
+             std::to_string(row.stuck_off_cells),
+         std::to_string(row.dead_rows) + "/" + std::to_string(row.dead_cols),
+         std::to_string(row.health.solver_nonconverged),
+         std::to_string(row.health.surrogate_fallbacks),
+         std::to_string(row.health.nonfinite_outputs)});
+  }
+  table.print("Fault sweep: " + task.name + " on " + model_name +
+              " (n=" + std::to_string(opt.n_eval) +
+              ", chip=" + std::to_string(opt.chip_seed) + ")");
+  std::printf("health counters (sweep total): %s\n",
+              result.total.summary().c_str());
+}
+
+}  // namespace nvm::core

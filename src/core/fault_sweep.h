@@ -1,0 +1,85 @@
+// Fault-sweep experiment: clean and adversarial accuracy of a deployed
+// network as a function of device fault rate and conductance-drift time.
+//
+// The sweep wraps a base crossbar model (GENIEx, fast-noise, or the
+// circuit solver) in xbar::FaultModel at each grid point, deploys the
+// prepared network on the faulty hardware, and measures accuracy on the
+// clean test set and on adversarial sets crafted once against the digital
+// network (the paper's non-adaptive transfer setting). Health counters
+// (solver non-convergence, surrogate fallbacks, scrubbed NaNs) are
+// snapshotted around every grid point so each row reports how much of the
+// degradation path was exercised — a run is only trustworthy together
+// with its counters.
+//
+// Evaluation reuses the parallel replica machinery: one deployed network
+// replica per worker chunk, bit-identical results for any NVM_THREADS.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/health.h"
+#include "core/tasks.h"
+#include "xbar/fault.h"
+
+namespace nvm::core {
+
+struct FaultSweepOptions {
+  /// Total stuck-cell rates to sweep; each splits into stuck-ON /
+  /// stuck-OFF by `stuck_on_fraction`.
+  std::vector<double> stuck_rates = {0.0, 0.01, 0.05};
+  double stuck_on_fraction = 0.5;
+  /// Drift times (seconds since programming) to sweep, crossed with the
+  /// stuck rates.
+  std::vector<double> drift_times = {0.0};
+  double dead_row_rate = 0.0;
+  double dead_col_rate = 0.0;
+  std::uint64_t chip_seed = 1;
+
+  std::int64_t n_eval = 32;
+  bool run_pgd = true;
+  float pgd_eps_255 = 2.0f;  ///< paper-units epsilon (scaled via the task)
+  std::int64_t pgd_iters = 20;
+  bool run_square = false;
+  std::int64_t square_queries = 300;
+  /// Deployed network replicas for parallel evaluation; 0 = pool size.
+  std::int64_t replicas = 0;
+};
+
+struct FaultSweepRow {
+  xbar::FaultOptions fault;
+  float clean = 0.0f;
+  float pgd = -1.0f;     ///< -1 when the attack was not run
+  float square = -1.0f;
+  /// Realized fault pattern of this grid point's die.
+  std::int64_t stuck_on_cells = 0;
+  std::int64_t stuck_off_cells = 0;
+  std::int64_t dead_rows = 0;
+  std::int64_t dead_cols = 0;
+  /// Failure-handling activity during this grid point (deploy + eval).
+  HealthSnapshot health;
+};
+
+struct FaultSweepResult {
+  float digital_clean = 0.0f;
+  float digital_pgd = -1.0f;
+  float digital_square = -1.0f;
+  std::vector<FaultSweepRow> rows;
+  HealthSnapshot total;  ///< failure-handling activity across the sweep
+};
+
+/// Runs the sweep; `base_model` is shared across grid points (each one
+/// wraps it in a fresh FaultModel).
+FaultSweepResult run_fault_sweep(
+    PreparedTask& prepared,
+    const std::shared_ptr<const xbar::MvmModel>& base_model,
+    const FaultSweepOptions& opt);
+
+/// Prints the result as an aligned report table with the health-counter
+/// summary (shared by the CLI and bench_ext_faults).
+void print_fault_sweep(const Task& task, const std::string& model_name,
+                       const FaultSweepOptions& opt,
+                       const FaultSweepResult& result);
+
+}  // namespace nvm::core

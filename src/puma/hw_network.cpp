@@ -26,6 +26,7 @@ HwDeployment::HwDeployment(nn::Network& net,
                            const HwConfig& hw)
     : net_(net) {
   NVM_CHECK(model != nullptr);
+  const HealthSnapshot deploy_start = health_snapshot();
 
   for (nn::BatchNorm2d* bn : batchnorms(net_))
     saved_bn_.emplace_back(bn->running_mean(), bn->running_var());
@@ -79,9 +80,13 @@ HwDeployment::HwDeployment(nn::Network& net,
     }
   }
 
+  stats_.health = health_snapshot().delta_since(deploy_start);
   NVM_LOG(Info) << "deployed " << net_.arch() << " on " << model->config().name
                 << "/" << model->name() << " (" << stats_.mvm_layers
                 << " MVM layers)";
+  if (!stats_.health.all_zero())
+    NVM_LOG(Warn) << "deployment degraded during calibration: "
+                  << stats_.health.summary();
 }
 
 HwDeployment::~HwDeployment() {

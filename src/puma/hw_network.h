@@ -25,6 +25,7 @@
 
 #include <span>
 
+#include "common/health.h"
 #include "nn/network.h"
 #include "puma/engine.h"
 
@@ -36,6 +37,11 @@ struct DeployStats {
   std::vector<float> input_scales;
   /// Per-layer fitted digital output gains (only when HwConfig::gain_trim).
   std::vector<float> output_gains;
+  /// Failure-handling activity during deployment itself (calibration, BN
+  /// re-estimation, gain trim): nonzero means the hardware model already
+  /// degraded before the first real inference — worth knowing before
+  /// trusting accuracy numbers measured on this deployment.
+  HealthSnapshot health;
 };
 
 class HwDeployment {

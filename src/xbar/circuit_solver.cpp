@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/health.h"
+#include "common/logging.h"
 #include "xbar/device.h"
 
 namespace nvm::xbar {
@@ -55,7 +57,7 @@ SolverWorkspace& tls_workspace() {
 /// read-only, so one programmed crossbar can be solved from many threads.
 Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
                    std::span<const double> g, const Tensor& v,
-                   SolverWorkspace& ws, int* sweeps_used) {
+                   SolverWorkspace& ws, SolveStats& stats) {
   const std::int64_t rows = cfg.rows, cols = cfg.cols;
   NVM_CHECK_EQ(v.numel(), rows);
   NVM_CHECK_EQ(g.size(), static_cast<std::size_t>(rows * cols));
@@ -74,6 +76,7 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
     for (std::int64_t j = 0; j < cols; ++j) ws.vr[idx(i, j)] = v[i];
   std::fill(ws.vc.begin(), ws.vc.end(), 0.0);
 
+  stats = SolveStats{};
   int sweep = 0;
   for (; sweep < opt.max_sweeps; ++sweep) {
     const double b = cfg.device_nonlin;
@@ -128,17 +131,38 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
       }
     }
 
+    stats.last_delta = max_delta;
+    // A diverging relaxation shows up as NaN/Inf voltage movement; stop
+    // sweeping immediately — further sweeps only churn NaN.
+    if (!std::isfinite(max_delta)) {
+      ++sweep;
+      stats.finite = false;
+      break;
+    }
     // Converge on relative voltage movement against the drive scale.
     if (max_delta < opt.tol * cfg.v_read + 1e-15) {
       ++sweep;
+      stats.converged = true;
       break;
     }
   }
-  if (sweeps_used != nullptr) *sweeps_used = sweep;
+  stats.sweeps_used = sweep;
+  if (!stats.ok()) {
+    const std::uint64_t n = bump(HealthCounter::SolverNonConverged);
+    if (health_should_log(n))
+      NVM_LOG(Warn) << "crossbar solve " << (stats.finite ? "hit max_sweeps"
+                                                          : "diverged")
+                    << " on " << cfg.name << " (" << rows << "x" << cols
+                    << "): sweeps=" << sweep
+                    << " last_delta=" << stats.last_delta
+                    << " tol=" << opt.tol * cfg.v_read
+                    << " (non-converged total " << n << ")";
+  }
 
   Tensor out({cols});
   for (std::int64_t j = 0; j < cols; ++j)
     out[j] = static_cast<float>(ws.vc[idx(rows - 1, j)] * gk);
+  guard_output_finite(out, "circuit_solver");
   return out;
 }
 
@@ -153,7 +177,8 @@ class SolverProgrammed final : public ProgrammedXbar {
   // borrows the calling thread's workspace, so repeated / concurrent mvm()
   // neither copies the matrix nor allocates relinearization state.
   Tensor mvm(const Tensor& v) override {
-    return solve_nodal(cfg_, opt_, g_, v, tls_workspace(), nullptr);
+    SolveStats stats;
+    return solve_nodal(cfg_, opt_, g_, v, tls_workspace(), stats);
   }
 
  private:
@@ -172,9 +197,20 @@ std::unique_ptr<ProgrammedXbar> CircuitSolverModel::program(
 
 Tensor solve_crossbar(const CrossbarConfig& cfg, const SolverOptions& opt,
                       const Tensor& g, const Tensor& v, int* sweeps_used) {
+  SolveStats stats;
+  Tensor out = solve_crossbar(cfg, opt, g, v, &stats);
+  if (sweeps_used != nullptr) *sweeps_used = stats.sweeps_used;
+  return out;
+}
+
+Tensor solve_crossbar(const CrossbarConfig& cfg, const SolverOptions& opt,
+                      const Tensor& g, const Tensor& v, SolveStats* stats) {
   validate_conductances(g, cfg);
   const std::vector<double> gd(g.data().begin(), g.data().end());
-  return solve_nodal(cfg, opt, gd, v, tls_workspace(), sweeps_used);
+  SolveStats local;
+  Tensor out = solve_nodal(cfg, opt, gd, v, tls_workspace(), local);
+  if (stats != nullptr) *stats = local;
+  return out;
 }
 
 }  // namespace nvm::xbar

@@ -33,6 +33,20 @@ struct SolverOptions {
   int max_sweeps = 200;
 };
 
+/// Outcome of one nodal solve. A solve that exhausts max_sweeps or
+/// diverges into NaN is not silently accepted: it is reported here,
+/// counted under HealthCounter::SolverNonConverged, and warned about once
+/// per throttle window. Output currents are always finite (non-finite
+/// values are scrubbed to zero via guard_output_finite).
+struct SolveStats {
+  int sweeps_used = 0;
+  bool converged = false;  ///< tolerance met within max_sweeps
+  bool finite = true;      ///< false if node voltages diverged to NaN/Inf
+  double last_delta = 0.0; ///< final sweep's max node-voltage movement (V)
+
+  bool ok() const { return converged && finite; }
+};
+
 class CircuitSolverModel final : public MvmModel {
  public:
   explicit CircuitSolverModel(CrossbarConfig cfg, SolverOptions opt = {})
@@ -52,5 +66,9 @@ class CircuitSolverModel final : public MvmModel {
 Tensor solve_crossbar(const CrossbarConfig& cfg, const SolverOptions& opt,
                       const Tensor& g, const Tensor& v,
                       int* sweeps_used = nullptr);
+
+/// One-shot solve with the full outcome report.
+Tensor solve_crossbar(const CrossbarConfig& cfg, const SolverOptions& opt,
+                      const Tensor& g, const Tensor& v, SolveStats* stats);
 
 }  // namespace nvm::xbar

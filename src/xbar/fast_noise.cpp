@@ -46,6 +46,7 @@ class FastNoiseProgrammed final : public ProgrammedXbar {
       }
       out[j] = static_cast<float>(acc);
     }
+    guard_output_finite(out, "fast_noise");
     return out;
   }
 

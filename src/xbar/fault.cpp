@@ -1,0 +1,116 @@
+#include "xbar/fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nvm::xbar {
+
+FaultModel::FaultModel(std::shared_ptr<const MvmModel> base, FaultOptions opt)
+    : base_(std::move(base)), opt_(opt) {
+  NVM_CHECK(base_ != nullptr);
+  NVM_CHECK(opt_.stuck_on_rate >= 0 && opt_.stuck_off_rate >= 0 &&
+            opt_.stuck_on_rate + opt_.stuck_off_rate <= 1.0,
+            "stuck rates must be a sub-unit partition: on="
+                << opt_.stuck_on_rate << " off=" << opt_.stuck_off_rate);
+  NVM_CHECK(opt_.dead_row_rate >= 0 && opt_.dead_row_rate <= 1);
+  NVM_CHECK(opt_.dead_col_rate >= 0 && opt_.dead_col_rate <= 1);
+  NVM_CHECK(opt_.drift_time >= 0 && opt_.drift_nu >= 0 && opt_.drift_t0 > 0);
+
+  // Device (i, j) / line i of chip k draws from its own stable stream, so
+  // the same chip has the same faults across programmings (and across
+  // fault-rate-independent positions: a device that survives at 1% also
+  // survives at 0.5%, since the comparison is against one fixed draw).
+  const CrossbarConfig& cfg = base_->config();
+  const std::int64_t rows = cfg.rows, cols = cfg.cols;
+  const auto cells = static_cast<std::uint64_t>(rows * cols);
+  map_.cell.assign(cells, CellFault::Healthy);
+  map_.dead_row.assign(static_cast<std::size_t>(rows), 0);
+  map_.dead_col.assign(static_cast<std::size_t>(cols), 0);
+  Rng chip(0xFA017D1EULL ^ opt_.chip_seed);
+  for (std::uint64_t k = 0; k < cells; ++k) {
+    Rng dev = chip.split(k);
+    const double u = dev.uniform();
+    if (u < opt_.stuck_on_rate) {
+      map_.cell[k] = CellFault::StuckOn;
+      ++map_.stuck_on_cells;
+    } else if (u < opt_.stuck_on_rate + opt_.stuck_off_rate) {
+      map_.cell[k] = CellFault::StuckOff;
+      ++map_.stuck_off_cells;
+    }
+  }
+  for (std::int64_t i = 0; i < rows; ++i) {
+    Rng line = chip.split(cells + static_cast<std::uint64_t>(i));
+    if (line.uniform() < opt_.dead_row_rate) {
+      map_.dead_row[static_cast<std::size_t>(i)] = 1;
+      ++map_.dead_rows;
+    }
+  }
+  for (std::int64_t j = 0; j < cols; ++j) {
+    Rng line = chip.split(cells + static_cast<std::uint64_t>(rows + j));
+    if (line.uniform() < opt_.dead_col_rate) {
+      map_.dead_col[static_cast<std::size_t>(j)] = 1;
+      ++map_.dead_cols;
+    }
+  }
+}
+
+std::string FaultModel::name() const {
+  std::ostringstream os;
+  os << base_->name() << "+fault(chip" << opt_.chip_seed;
+  if (opt_.stuck_on_rate > 0) os << ",on" << opt_.stuck_on_rate;
+  if (opt_.stuck_off_rate > 0) os << ",off" << opt_.stuck_off_rate;
+  if (opt_.dead_row_rate > 0) os << ",drow" << opt_.dead_row_rate;
+  if (opt_.dead_col_rate > 0) os << ",dcol" << opt_.dead_col_rate;
+  if (opt_.drift_time > 0) os << ",t" << opt_.drift_time << "s";
+  os << ")";
+  return os.str();
+}
+
+Tensor FaultModel::apply_faults(const Tensor& g) const {
+  const CrossbarConfig& cfg = base_->config();
+  validate_conductances(g, cfg);
+  const float g_off = static_cast<float>(cfg.g_off());
+  const float g_on = static_cast<float>(cfg.g_on());
+  const bool drifting = opt_.drift_time > 0 && opt_.drift_nu > 0;
+  const float decay =
+      drifting ? static_cast<float>(
+                     std::pow(1.0 + opt_.drift_time / opt_.drift_t0,
+                              -opt_.drift_nu))
+               : 1.0f;
+  Tensor out = g;
+  // Healthy cells are written only when drift is active, so the fault-free
+  // rewrite is the bit-exact identity.
+  for (std::int64_t i = 0; i < cfg.rows; ++i) {
+    const bool row_dead = map_.dead_row[static_cast<std::size_t>(i)] != 0;
+    for (std::int64_t j = 0; j < cfg.cols; ++j) {
+      const auto k = static_cast<std::size_t>(i * cfg.cols + j);
+      if (row_dead || map_.dead_col[static_cast<std::size_t>(j)] != 0) {
+        out.at(i, j) = g_off;
+        continue;
+      }
+      switch (map_.cell[k]) {
+        case CellFault::StuckOn:
+          out.at(i, j) = g_on;
+          break;
+        case CellFault::StuckOff:
+          out.at(i, j) = g_off;
+          break;
+        case CellFault::Healthy:
+          if (drifting)
+            out.at(i, j) = std::clamp(
+                g_off + (out.at(i, j) - g_off) * decay, g_off, g_on);
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<ProgrammedXbar> FaultModel::program(const Tensor& g) const {
+  return base_->program(apply_faults(g));
+}
+
+}  // namespace nvm::xbar

@@ -1,0 +1,83 @@
+// Device fault injection: stuck cells, line opens, conductance drift.
+//
+// Write noise (VariationModel) covers the benign imperfection of working
+// devices; real NVM arrays additionally ship with *broken* ones. Yield
+// studies and the nonideality-aware-training literature (Joksas et al.;
+// Bhattacharjee & Panda) treat three fault classes as first-class
+// robustness variables, all modelled here:
+//   * stuck-at cells: forming/retention failures pin a device at G_ON
+//     (stuck short) or G_OFF (stuck open) regardless of programming;
+//   * line opens: a broken word/bit line disconnects an entire row or
+//     column — its devices contribute no current (modelled as all-G_OFF);
+//   * conductance drift: programmed state decays toward G_OFF over time,
+//     G(t) = G_off + (G - G_off) * (1 + t/t0)^-nu (the standard power-law
+//     retention model), parameterized by the time since programming.
+//
+// FaultModel mirrors VariationModel's decorator shape: program() rewrites
+// the target conductances through the deterministic, chip-seeded fault map
+// and hands the result to any base MvmModel — so the same faults flow
+// through the circuit solver, the GENIEx surrogate, and the fast-noise
+// path alike, and decorators compose (VariationModel over FaultModel keeps
+// stuck cells stuck, because the fault rewrite runs last).
+//
+// With all rates zero and drift_time zero, apply_faults is the identity
+// and FaultModel is bit-identical to its base model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xbar/mvm_model.h"
+
+namespace nvm::xbar {
+
+struct FaultOptions {
+  double stuck_on_rate = 0.0;   ///< fraction of cells stuck at g_on
+  double stuck_off_rate = 0.0;  ///< fraction of cells stuck at g_off
+  double dead_row_rate = 0.0;   ///< probability a row line is open
+  double dead_col_rate = 0.0;   ///< probability a column line is open
+  double drift_time = 0.0;      ///< seconds since programming (0 = fresh)
+  double drift_nu = 0.05;       ///< power-law drift exponent
+  double drift_t0 = 1.0;        ///< drift reference time (s)
+  std::uint64_t chip_seed = 1;  ///< identifies the physical die
+};
+
+/// Per-cell fault classification, fixed at model construction.
+enum class CellFault : std::uint8_t { Healthy = 0, StuckOn = 1, StuckOff = 2 };
+
+/// The deterministic fault pattern of one die (exposed for tests and for
+/// experiment reports).
+struct FaultMap {
+  std::vector<CellFault> cell;        ///< (rows*cols), row-major
+  std::vector<std::uint8_t> dead_row; ///< (rows), 1 = line open
+  std::vector<std::uint8_t> dead_col; ///< (cols), 1 = line open
+  std::int64_t stuck_on_cells = 0;
+  std::int64_t stuck_off_cells = 0;
+  std::int64_t dead_rows = 0;
+  std::int64_t dead_cols = 0;
+};
+
+class FaultModel final : public MvmModel {
+ public:
+  FaultModel(std::shared_ptr<const MvmModel> base, FaultOptions opt);
+
+  std::unique_ptr<ProgrammedXbar> program(const Tensor& g) const override;
+  const CrossbarConfig& config() const override { return base_->config(); }
+  std::string name() const override;
+
+  /// The fault rewrite applied to a target matrix (exposed for tests):
+  /// drift first (healthy decay of what was programmed), then stuck-at and
+  /// line-open overrides, clamped to [g_off, g_on]. Deterministic in
+  /// (chip_seed, device position); the identity when fault-free.
+  Tensor apply_faults(const Tensor& g) const;
+
+  const FaultMap& map() const { return map_; }
+  const FaultOptions& options() const { return opt_; }
+
+ private:
+  std::shared_ptr<const MvmModel> base_;
+  FaultOptions opt_;
+  FaultMap map_;
+};
+
+}  // namespace nvm::xbar

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/file_cache.h"
+#include "common/health.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "tensor/ops.h"
@@ -66,8 +67,15 @@ void fill_features(const CrossbarConfig& cfg, const ProgramStats& st,
 
 class GeniexProgrammed final : public ProgrammedXbar {
  public:
-  GeniexProgrammed(const CrossbarConfig& cfg, const MlpRegressor& mlp, Tensor g)
-      : cfg_(cfg), mlp_(mlp), stats_(cfg, g) {}
+  GeniexProgrammed(const CrossbarConfig& cfg, const MlpRegressor& mlp,
+                   const GeniexGuardOptions& guard,
+                   const FastNoiseModel& fallback, Tensor g)
+      : cfg_(cfg), mlp_(mlp), guard_(guard), stats_(cfg, g) {
+    // The degradation target is programmed with the same conductances up
+    // front, so a mid-batch fallback never re-enters program() (which
+    // keeps concurrent mvm calls allocation- and race-free).
+    if (guard_.enabled) fallback_xbar_ = fallback.program(g);
+  }
 
   Tensor mvm(const Tensor& v) override {
     Tensor vb = v.reshaped({cfg_.rows, 1});
@@ -170,6 +178,8 @@ class GeniexProgrammed final : public ProgrammedXbar {
     Tensor out({cols, n});
     float feats[kGeniexFeatureCount];
     const float rel_floor = kGeniexRelFloor * i_scale;
+    std::vector<std::uint8_t> out_of_envelope(static_cast<std::size_t>(n), 0);
+    bool any_fallback = false;
     for (std::int64_t j = 0; j < cols_used; ++j) {
       const float* ji = iid.raw() + j * n;
       const float* je = e.raw() + j * n;
@@ -183,18 +193,53 @@ class GeniexProgrammed final : public ProgrammedXbar {
                       rbar[static_cast<std::size_t>(k)], je[k], jp[k], jw[k],
                       feats);
         const float rel = mlp_.predict({feats, kGeniexFeatureCount});
+        if (guard_.enabled && (!std::isfinite(rel) || rel < guard_.rel_min ||
+                               rel > guard_.rel_max)) {
+          // Out-of-envelope deviation: the surrogate is off its training
+          // distribution for this input. Its whole column set for sample k
+          // is distrusted and re-evaluated on the fallback model below.
+          out_of_envelope[static_cast<std::size_t>(k)] = 1;
+          any_fallback = true;
+        }
         const float denom = std::max(ji[k], rel_floor);
         // Physical clamp: column current is non-negative and bounded by
         // the full-scale current.
         jo[k] = std::clamp(ji[k] - rel * denom, 0.0f, i_scale);
       }
     }
+    if (any_fallback) degrade_to_fallback(vb, out_of_envelope, cols_used, out);
+    guard_output_finite(out, "geniex");
     return out;
   }
 
  private:
+  /// Replaces the output columns of every flagged sample with the
+  /// fast-noise model's prediction (counted + logged, never a crash).
+  void degrade_to_fallback(const Tensor& vb,
+                           const std::vector<std::uint8_t>& flagged,
+                           std::int64_t cols_used, Tensor& out) {
+    const std::int64_t rows = cfg_.rows, n = vb.dim(1);
+    std::uint64_t dropped = 0;
+    for (std::int64_t k = 0; k < n; ++k) {
+      if (flagged[static_cast<std::size_t>(k)] == 0) continue;
+      ++dropped;
+      Tensor v({rows});
+      for (std::int64_t i = 0; i < rows; ++i) v[i] = vb.at(i, k);
+      Tensor y = fallback_xbar_->mvm(v);
+      for (std::int64_t j = 0; j < cols_used; ++j) out.at(j, k) = y[j];
+    }
+    const std::uint64_t total = bump(HealthCounter::SurrogateFallback, dropped);
+    if (health_should_log(total))
+      NVM_LOG(Warn) << "geniex surrogate out of envelope on " << cfg_.name
+                    << " for " << dropped << " of " << n
+                    << " input vector(s); fell back to fast_noise (total "
+                    << total << ")";
+  }
+
   const CrossbarConfig& cfg_;
   const MlpRegressor& mlp_;
+  GeniexGuardOptions guard_;
+  std::unique_ptr<ProgrammedXbar> fallback_xbar_;
   ProgramStats stats_;
 };
 
@@ -293,9 +338,14 @@ Tensor sample_voltages(const CrossbarConfig& cfg, Rng& rng) {
   return v;
 }
 
-GeniexModel::GeniexModel(CrossbarConfig cfg, MlpRegressor mlp)
-    : cfg_(std::move(cfg)), mlp_(std::move(mlp)) {
+GeniexModel::GeniexModel(CrossbarConfig cfg, MlpRegressor mlp,
+                         GeniexGuardOptions guard)
+    : cfg_(std::move(cfg)),
+      mlp_(std::move(mlp)),
+      guard_(guard),
+      fallback_(cfg_) {
   NVM_CHECK_EQ(mlp_.in_dim(), kGeniexFeatureCount);
+  NVM_CHECK(guard_.rel_min < guard_.rel_max);
 }
 
 GeniexFit GeniexModel::fit(const CrossbarConfig& cfg,
@@ -376,7 +426,7 @@ GeniexModel GeniexModel::load_or_train(const CrossbarConfig& cfg,
 
 std::unique_ptr<ProgrammedXbar> GeniexModel::program(const Tensor& g) const {
   validate_conductances(g, cfg_);
-  return std::make_unique<GeniexProgrammed>(cfg_, mlp_, g);
+  return std::make_unique<GeniexProgrammed>(cfg_, mlp_, guard_, fallback_, g);
 }
 
 }  // namespace nvm::xbar

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "xbar/circuit_solver.h"
+#include "xbar/fast_noise.h"
 #include "xbar/mlp.h"
 #include "xbar/mvm_model.h"
 
@@ -44,9 +45,25 @@ struct GeniexFit {
   float val_mse = 0.0f;
 };
 
+/// Surrogate trust envelope. The MLP predicts a *relative* deviation; on
+/// physical hardware the non-ideal current satisfies 0 <= I <= I_ideal, so
+/// r lives in [0, 1] (small negative values are tolerable regression
+/// noise). A prediction far outside that envelope — or a NaN — means the
+/// surrogate is being driven off its training distribution (e.g. by an
+/// injected fault pattern); rather than trust it or crash, the affected
+/// input vector is re-evaluated on the closed-form fast-noise model. Every
+/// such degradation bumps HealthCounter::SurrogateFallback and is warned
+/// about (throttled); experiments report the count next to accuracy.
+struct GeniexGuardOptions {
+  bool enabled = true;
+  float rel_min = -0.5f;  ///< below: surrogate claims implausible gain
+  float rel_max = 1.5f;   ///< above: claims more than total current loss
+};
+
 class GeniexModel final : public MvmModel {
  public:
-  GeniexModel(CrossbarConfig cfg, MlpRegressor mlp);
+  GeniexModel(CrossbarConfig cfg, MlpRegressor mlp,
+              GeniexGuardOptions guard = {});
 
   /// Trains a fresh surrogate against the circuit solver.
   static GeniexFit fit(const CrossbarConfig& cfg, const GeniexTrainOptions& opt);
@@ -62,9 +79,14 @@ class GeniexModel final : public MvmModel {
 
   const MlpRegressor& mlp() const { return mlp_; }
 
+  const GeniexGuardOptions& guard() const { return guard_; }
+  void set_guard(const GeniexGuardOptions& guard) { guard_ = guard; }
+
  private:
   CrossbarConfig cfg_;
   MlpRegressor mlp_;
+  GeniexGuardOptions guard_;
+  FastNoiseModel fallback_;  ///< degradation target for out-of-envelope MVMs
 };
 
 /// Assembles the per-column feature matrix (cols x kGeniexFeatureCount)

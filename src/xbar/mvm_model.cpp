@@ -1,6 +1,10 @@
 #include "xbar/mvm_model.h"
 
+#include <cmath>
+
 #include "common/check.h"
+#include "common/health.h"
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -45,6 +49,26 @@ void validate_conductances(const Tensor& g, const CrossbarConfig& cfg) {
   NVM_CHECK(g.min() >= lo && g.max() <= hi,
             "conductance out of [g_off, g_on]: [" << g.min() << ", " << g.max()
                                                   << "]");
+}
+
+std::int64_t guard_output_finite(Tensor& out, const char* who) {
+  std::int64_t scrubbed = 0;
+  float* p = out.raw();
+  const std::int64_t n = out.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) {
+      p[i] = 0.0f;
+      ++scrubbed;
+    }
+  }
+  if (scrubbed > 0) {
+    const std::uint64_t total = bump(HealthCounter::NonFiniteOutput,
+                                     static_cast<std::uint64_t>(scrubbed));
+    if (health_should_log(total))
+      NVM_LOG(Warn) << who << ": scrubbed " << scrubbed
+                    << " non-finite output value(s) (total " << total << ")";
+  }
+  return scrubbed;
 }
 
 namespace {

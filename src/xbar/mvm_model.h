@@ -68,6 +68,14 @@ class MvmModel {
 /// Validates shape and conductance range of a matrix to be programmed.
 void validate_conductances(const Tensor& g, const CrossbarConfig& cfg);
 
+/// Scrubs NaN/Inf entries from a crossbar output (replaced with 0 — a
+/// dead column reads no current), counting them under
+/// HealthCounter::NonFiniteOutput with a throttled warning tagged `who`.
+/// Returns the number of entries scrubbed. Every analog model output
+/// passes through this guard so a diverged solve or a wild surrogate
+/// prediction degrades instead of propagating NaN into the network.
+std::int64_t guard_output_finite(Tensor& out, const char* who);
+
 /// Exact I_j = sum_i V_i * G_ij — "accurate digital" reference.
 class IdealXbarModel final : public MvmModel {
  public:

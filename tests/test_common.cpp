@@ -2,12 +2,14 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 
 #include "common/check.h"
 #include "common/env.h"
 #include "common/file_cache.h"
+#include "common/health.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 
@@ -153,6 +155,52 @@ TEST(Serialize, TruncatedStreamThrows) {
   EXPECT_THROW(r.read_u64(), CheckError);
 }
 
+TEST(Serialize, Crc32MatchesKnownVector) {
+  // IEEE CRC32 check value: crc32("123456789") == 0xCBF43926.
+  const char* msg = "123456789";
+  EXPECT_EQ(crc32(msg, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+  // One flipped bit changes the checksum.
+  const char msg2[] = "123456788";
+  EXPECT_NE(crc32(msg2, 9), 0xCBF43926u);
+}
+
+TEST(Serialize, OversizedLengthPrefixThrowsCheckError) {
+  // A corrupted length prefix must raise CheckError (catchable by the
+  // cache layer) instead of attempting a multi-terabyte allocation.
+  std::stringstream ss;
+  {
+    BinaryWriter w(ss);
+    w.write_u64(~0ull);  // absurd element count
+  }
+  BinaryReader r(ss);
+  EXPECT_THROW(r.read_string(), CheckError);
+}
+
+TEST(Health, BumpAndSnapshotDeltas) {
+  const HealthSnapshot before = health_snapshot();
+  bump(HealthCounter::SolverNonConverged);
+  bump(HealthCounter::SurrogateFallback, 3);
+  const HealthSnapshot delta = health_snapshot().delta_since(before);
+  EXPECT_EQ(delta.solver_nonconverged, 1u);
+  EXPECT_EQ(delta.surrogate_fallbacks, 3u);
+  EXPECT_EQ(delta.nonfinite_outputs, 0u);
+  EXPECT_FALSE(delta.all_zero());
+  EXPECT_NE(delta.summary().find("solver_nc=1"), std::string::npos);
+  EXPECT_NE(delta.summary().find("fallback=3"), std::string::npos);
+  const HealthSnapshot none = health_snapshot().delta_since(health_snapshot());
+  EXPECT_TRUE(none.all_zero());
+}
+
+TEST(Health, LogThrottleWarnsEarlyThenSparsely) {
+  EXPECT_TRUE(health_should_log(1));
+  EXPECT_TRUE(health_should_log(5));
+  EXPECT_FALSE(health_should_log(6));
+  EXPECT_FALSE(health_should_log(1000));
+  EXPECT_TRUE(health_should_log(1024));
+  EXPECT_TRUE(health_should_log(2048));
+}
+
 class FileCacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -187,6 +235,70 @@ TEST_F(FileCacheTest, TagMismatchInvalidates) {
 
 TEST_F(FileCacheTest, MissingEntryReturnsFalse) {
   EXPECT_FALSE(cache_load("nope.bin", "t", [](BinaryReader&) { FAIL(); }));
+}
+
+TEST_F(FileCacheTest, BitFlippedPayloadIsQuarantinedAndRecomputed) {
+  cache_store("entry.bin", "tag",
+              [](BinaryWriter& w) { w.write_i64(99); });
+  // Flip one payload byte on disk (the last byte is inside the i64).
+  const auto path = dir_ / "entry.bin";
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    f.seekp(size - 1);
+    f.put('\xff');
+  }
+  const auto corrupt_before = health_value(HealthCounter::CacheCorrupt);
+  // The corrupted entry must read as a miss, never as wrong data...
+  EXPECT_FALSE(
+      cache_load("entry.bin", "tag", [](BinaryReader&) { FAIL(); }));
+  EXPECT_GT(health_value(HealthCounter::CacheCorrupt), corrupt_before);
+  // ...be quarantined out of the way...
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(dir_ / "entry.bin.corrupt"));
+  // ...and a recompute-store-load cycle must work again.
+  cache_store("entry.bin", "tag",
+              [](BinaryWriter& w) { w.write_i64(42); });
+  std::int64_t got = 0;
+  EXPECT_TRUE(cache_load("entry.bin", "tag",
+                         [&](BinaryReader& r) { got = r.read_i64(); }));
+  EXPECT_EQ(got, 42);
+}
+
+TEST_F(FileCacheTest, TruncatedEntryIsRejected) {
+  cache_store("entry.bin", "tag",
+              [](BinaryWriter& w) { w.write_f32_vec({1.f, 2.f, 3.f}); });
+  const auto path = dir_ / "entry.bin";
+  std::filesystem::resize_file(path,
+                               std::filesystem::file_size(path) - 5);
+  EXPECT_FALSE(
+      cache_load("entry.bin", "tag", [](BinaryReader&) { FAIL(); }));
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST_F(FileCacheTest, GarbageFileIsRejectedNotCrashed) {
+  const auto path = dir_ / "junk.bin";
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream f(path, std::ios::binary);
+    Rng rng(99);
+    for (int i = 0; i < 256; ++i)
+      f.put(static_cast<char>(rng.uniform_int(0, 255)));
+  }
+  EXPECT_FALSE(cache_load("junk.bin", "tag", [](BinaryReader&) { FAIL(); }));
+}
+
+TEST_F(FileCacheTest, LoadCallbackFailureDoesNotEscape) {
+  // A payload that parses but whose loader trips an NVM_CHECK (schema
+  // drift) must also surface as a miss, not an exception.
+  cache_store("entry.bin", "tag",
+              [](BinaryWriter& w) { w.write_i64(1); });
+  EXPECT_FALSE(cache_load("entry.bin", "tag", [](BinaryReader& r) {
+    (void)r.read_i64();
+    NVM_CHECK(false, "loader rejects payload");
+  }));
 }
 
 TEST(Rng, DeriveSeedMatchesSplitAndSeparatesStreams) {

@@ -5,6 +5,7 @@
 #include "common/check.h"
 
 #include "attack/noise.h"
+#include "common/thread_pool.h"
 #include "nn/resnet.h"
 #include "puma/cost_model.h"
 #include "xbar/geniex.h"
@@ -72,6 +73,59 @@ TEST(Variation, PerturbationScaleTracksSigma) {
   const float dev_big =
       max_abs_diff(xbar::VariationModel(base, big).perturb(g), g);
   EXPECT_GT(dev_big, dev_small * 3);
+}
+
+TEST(Variation, ClampsExactlyAtProgrammableBoundaries) {
+  // Devices already programmed to a rail plus huge noise: the perturbed
+  // matrix must stay a valid conductance matrix (program() would reject
+  // anything outside [g_off, g_on]).
+  const auto cfg = var_cfg();
+  auto base = std::make_shared<xbar::IdealXbarModel>(cfg);
+  xbar::VariationOptions opt;
+  opt.write_sigma = 0.5;
+  opt.process_sigma = 0.5;
+  xbar::VariationModel chip(base, opt);
+  for (float rail : {static_cast<float>(cfg.g_off()),
+                     static_cast<float>(cfg.g_on())}) {
+    Tensor g = Tensor::full({cfg.rows, cfg.cols}, rail);
+    Tensor p = chip.perturb(g);
+    EXPECT_GE(p.min(), cfg.g_off() * (1 - 1e-6));
+    EXPECT_LE(p.max(), cfg.g_on() * (1 + 1e-6));
+    // The clamped matrix must actually program.
+    EXPECT_NO_THROW(chip.program(g));
+  }
+}
+
+TEST(Variation, BitIdenticalAcrossPoolSizes) {
+  // The chip noise must depend only on (chip_seed, device position) —
+  // never on how many workers NVM_THREADS grants the batch paths.
+  const auto cfg = var_cfg();
+  auto base = std::make_shared<xbar::IdealXbarModel>(cfg);
+  xbar::VariationOptions opt;
+  opt.chip_seed = 9;
+  xbar::VariationModel chip(base, opt);
+  Rng rng(21);
+  Tensor g = xbar::sample_conductances(cfg, rng);
+  Tensor vb({cfg.rows, 6});
+  for (std::int64_t i = 0; i < cfg.rows; ++i)
+    for (std::int64_t k = 0; k < 6; ++k)
+      vb.at(i, k) = static_cast<float>(rng.uniform(0, cfg.v_read));
+
+  Tensor p_serial, r_serial, p_wide, r_wide;
+  {
+    ThreadPool serial(1);
+    ThreadPool::ScopedUse use(serial);
+    p_serial = chip.perturb(g);
+    r_serial = chip.program(g)->mvm_batch(vb);
+  }
+  {
+    ThreadPool wide(4);
+    ThreadPool::ScopedUse use(wide);
+    p_wide = chip.perturb(g);
+    r_wide = chip.program(g)->mvm_batch(vb);
+  }
+  EXPECT_EQ(max_abs_diff(p_serial, p_wide), 0.0f);
+  EXPECT_EQ(max_abs_diff(r_serial, r_wide), 0.0f);
 }
 
 TEST(Variation, MvmFlowsThroughBaseModel) {

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "common/health.h"
 #include "xbar/fast_noise.h"
 #include "xbar/geniex.h"
 #include "xbar/nf.h"
@@ -164,6 +165,63 @@ TEST(Geniex, OutputsPhysicallyClamped) {
   Tensor out = model.program(g)->mvm(v);
   EXPECT_GE(out.min(), 0.0f);
   EXPECT_LE(out.max(), cfg.i_scale() * (1 + 1e-6));
+}
+
+TEST(Geniex, GuardFallsBackToFastNoiseOutsideEnvelope) {
+  // An absurdly tight trust envelope forces every prediction out of
+  // bounds: the guarded model must degrade to the fast-noise fallback
+  // (bit-identical to evaluating it directly) and count the event —
+  // graceful degradation, not a crash and not a silently-trusted output.
+  CrossbarConfig cfg = small_config();
+  GeniexGuardOptions tight;
+  tight.rel_min = -1e-6f;
+  tight.rel_max = 1e-6f;
+  GeniexModel guarded(cfg, shared_fit().mlp, tight);
+  FastNoiseModel fallback(cfg);
+  Rng rng(21);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  const auto before = health_value(HealthCounter::SurrogateFallback);
+  Tensor out = guarded.program(g)->mvm(v);
+  EXPECT_GT(health_value(HealthCounter::SurrogateFallback), before);
+  EXPECT_EQ(max_abs_diff(out, fallback.program(g)->mvm(v)), 0.0f);
+}
+
+TEST(Geniex, GuardIsQuietOnInDistributionInputs) {
+  // The default envelope exists for driven-off-distribution inputs; on
+  // the surrogate's own training distribution it must not fire.
+  CrossbarConfig cfg = small_config();
+  GeniexModel model(cfg, shared_fit().mlp);
+  Rng rng(22);
+  const auto before = health_value(HealthCounter::SurrogateFallback);
+  for (int trial = 0; trial < 4; ++trial) {
+    Tensor g = sample_conductances(cfg, rng);
+    auto programmed = model.program(g);
+    (void)programmed->mvm(sample_voltages(cfg, rng));
+  }
+  EXPECT_EQ(health_value(HealthCounter::SurrogateFallback), before);
+}
+
+TEST(Geniex, GuardDisabledMatchesDefaultOnNominalInputs) {
+  CrossbarConfig cfg = small_config();
+  GeniexGuardOptions off;
+  off.enabled = false;
+  GeniexModel unguarded(cfg, shared_fit().mlp, off);
+  GeniexModel guarded(cfg, shared_fit().mlp);
+  Rng rng(23);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  EXPECT_EQ(max_abs_diff(unguarded.program(g)->mvm(v),
+                         guarded.program(g)->mvm(v)),
+            0.0f);
+}
+
+TEST(Geniex, GuardRejectsInvertedEnvelope) {
+  GeniexGuardOptions bad;
+  bad.rel_min = 1.0f;
+  bad.rel_max = 0.0f;
+  EXPECT_THROW(GeniexModel(small_config(), shared_fit().mlp, bad),
+               CheckError);
 }
 
 TEST(FastNoise, ReducesCurrentVsIdeal) {

@@ -8,6 +8,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/health.h"
 #include "xbar/circuit_solver.h"
 #include "xbar/geniex.h"
 
@@ -172,6 +173,56 @@ TEST(Solver, ConvergesWellUnderSweepLimit) {
   (void)solve_crossbar(cfg, opt, g, v, &sweeps);
   EXPECT_LT(sweeps, 40);
   EXPECT_GE(sweeps, 2);
+}
+
+TEST(Solver, ExhaustedSweepBudgetIsReportedNotSwallowed) {
+  // Regression: a solve that hits max_sweeps used to return its last
+  // iterate silently. It must now flag non-convergence, bump the health
+  // counter, and still hand back finite currents.
+  CrossbarConfig cfg = tiny_config(6);
+  Rng rng(12);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  SolverOptions opt;
+  opt.max_sweeps = 1;
+  opt.tol = 1e-15;  // unreachable in one sweep
+  const auto before = health_value(HealthCounter::SolverNonConverged);
+  SolveStats stats;
+  Tensor out = solve_crossbar(cfg, opt, g, v, &stats);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.finite);
+  EXPECT_EQ(stats.sweeps_used, 1);
+  EXPECT_GT(stats.last_delta, 0.0);
+  EXPECT_GT(health_value(HealthCounter::SolverNonConverged), before);
+  for (std::int64_t j = 0; j < cfg.cols; ++j)
+    EXPECT_TRUE(std::isfinite(out[j])) << "col " << j;
+}
+
+TEST(Solver, NormalSolveReportsCleanStats) {
+  CrossbarConfig cfg = tiny_config(6);
+  Rng rng(13);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  const auto before = health_value(HealthCounter::SolverNonConverged);
+  SolveStats stats;
+  (void)solve_crossbar(cfg, {}, g, v, &stats);
+  EXPECT_TRUE(stats.ok());
+  EXPECT_GE(stats.sweeps_used, 2);
+  EXPECT_EQ(health_value(HealthCounter::SolverNonConverged), before);
+}
+
+TEST(Solver, LegacySweepCountOverloadAgreesWithStats) {
+  CrossbarConfig cfg = tiny_config(5);
+  Rng rng(14);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  int sweeps = 0;
+  Tensor a = solve_crossbar(cfg, {}, g, v, &sweeps);
+  SolveStats stats;
+  Tensor b = solve_crossbar(cfg, {}, g, v, &stats);
+  EXPECT_EQ(sweeps, stats.sweeps_used);
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
 }
 
 TEST(Solver, ZeroInputGivesZeroOutput) {
