@@ -8,8 +8,9 @@
 #include "attack/pgd.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_ablation_bitslice");
   core::Task task = core::task_scifar10();
   core::PreparedTask prepared = core::prepare(task);
   const std::int64_t n_eval = env_int("NVMROBUST_ABL_N", scaled(32, 500));
@@ -82,7 +83,7 @@ int main() {
   table.add_row({"digital baseline", core::fmt(base_clean),
                  core::fmt(base_adv), "-", "-"});
   for (const Config& config : configs) {
-    Stopwatch sw;
+    trace::Span sw("bench/stage");
     // 64-level single-slice config needs a device with enough levels.
     auto cfg_model = model;
     if (config.hw.slice_bits > 4) {

@@ -5,8 +5,9 @@
 #include "bench_util.h"
 #include "puma/cost_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_cost_model");
   core::TablePrinter table({"Task", "Crossbar", "Mapping", "xbar reads",
                             "ADC convs", "energy (nJ)", "latency (us)",
                             "mean util"});

@@ -12,8 +12,9 @@
 #include "bench_util.h"
 #include "xbar/variation.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_ext_chip_variation");
   core::Task task = core::task_scifar10();
   core::PreparedTask prepared = core::prepare(task);
   const std::int64_t n_eval = env_int("NVMROBUST_VAR_N", scaled(32, 500));

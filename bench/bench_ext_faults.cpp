@@ -12,8 +12,9 @@
 #include "bench_util.h"
 #include "core/fault_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_ext_faults");
   core::Task task = core::task_scifar10();
   core::PreparedTask prepared = core::prepare(task);
   auto base = xbar::make_geniex("64x64_100k");

@@ -10,19 +10,20 @@
 #include "attack/pgd.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_fig2_ensemble_bb");
   const std::vector<float> paper_eps = {2.0f, 4.0f, 8.0f};
   const std::int64_t n_eval = env_int("NVMROBUST_FIG2_N", scaled(32, 500));
   auto models = bench::paper_models();
 
   for (core::Task task : {core::task_scifar10(), core::task_scifar100()}) {
-    Stopwatch total;
+    trace::Span total("bench/total");
     core::PreparedTask prepared = core::prepare(task);
     auto images = prepared.eval_images(n_eval);
     auto labels = prepared.eval_labels(n_eval);
 
-    Stopwatch distill_sw;
+    trace::Span distill_sw("bench/distill");
     attack::EnsembleBbOptions bb_opt;
     bb_opt.epochs =
         static_cast<std::int64_t>(env_int("NVMROBUST_SURR_EPOCHS", 12));
@@ -36,7 +37,7 @@ int main() {
     auto ensemble = surrogates.attack_model();
 
     std::vector<std::vector<Tensor>> adv_sets;
-    Stopwatch craft;
+    trace::Span craft("bench/craft");
     for (float eps : paper_eps) {
       attack::PgdOptions opt;
       opt.epsilon = task.scaled_eps(eps);

@@ -9,14 +9,15 @@
 #include "attack/square.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_fig3_square");
   const std::vector<float> paper_eps = {4.0f, 8.0f, 16.0f};
   auto models = bench::paper_models();
 
   for (core::Task task : {core::task_scifar10(), core::task_scifar100(),
                           core::task_simagenet()}) {
-    Stopwatch total;
+    trace::Span total("bench/total");
     const bool imagenet = task.name == "SIMAGENET";
     const std::int64_t n_eval =
         env_int("NVMROBUST_FIG3_N", scaled(imagenet ? 20 : 32, 500));
@@ -26,7 +27,7 @@ int main() {
 
     attack::NetworkAttackModel victim(prepared.network);
     std::vector<std::vector<Tensor>> adv_sets;
-    Stopwatch craft;
+    trace::Span craft("bench/craft");
     const std::int64_t queries = env_int(
         "NVMROBUST_SQ_QUERIES", scaled(imagenet ? 60 : 100, 1000));
     for (float eps : paper_eps) {

@@ -9,14 +9,15 @@
 #include "attack/pgd.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_fig4_whitebox");
   const std::vector<float> paper_eps = {0.5f, 1.0f, 2.0f, 4.0f};
   const std::int64_t n_eval = env_int("NVMROBUST_FIG4_N", scaled(40, 500));
   auto models = bench::paper_models();
 
   for (core::Task task : {core::task_scifar10(), core::task_scifar100()}) {
-    Stopwatch total;
+    trace::Span total("bench/total");
     core::PreparedTask prepared = core::prepare(task);
     auto images = prepared.eval_images(n_eval);
     auto labels = prepared.eval_labels(n_eval);
@@ -24,7 +25,7 @@ int main() {
     // Craft one adversarial set per epsilon against the digital network.
     attack::NetworkAttackModel attacker(prepared.network);
     std::vector<std::vector<Tensor>> adv_sets;
-    Stopwatch craft;
+    trace::Span craft("bench/craft");
     for (float eps : paper_eps) {
       attack::PgdOptions opt;
       opt.epsilon = task.scaled_eps(eps);

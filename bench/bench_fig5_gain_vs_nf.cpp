@@ -10,8 +10,9 @@
 #include "bench_util.h"
 #include "xbar/nf.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_fig5_gain_vs_nf");
   const std::int64_t n_eval = env_int("NVMROBUST_FIG5_N", scaled(32, 500));
   auto models = bench::paper_models();
 
@@ -27,7 +28,7 @@ int main() {
                             "Baseline adv acc", "HW adv acc", "Gain"});
 
   for (core::Task task : {core::task_scifar10(), core::task_scifar100()}) {
-    Stopwatch total;
+    trace::Span total("bench/total");
     core::PreparedTask prepared = core::prepare(task);
     auto images = prepared.eval_images(n_eval);
     auto labels = prepared.eval_labels(n_eval);

@@ -9,15 +9,16 @@
 #include "attack/pgd.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_fig6_adaptive_bb");
   const std::vector<float> paper_eps = {2.0f, 4.0f};
   const std::int64_t n_eval = env_int("NVMROBUST_FIG6_N", scaled(24, 500));
   auto models = bench::paper_models();
   auto target_model = xbar::make_geniex("64x64_100k");
 
   for (core::Task task : {core::task_scifar10(), core::task_scifar100()}) {
-    Stopwatch total;
+    trace::Span total("bench/total");
     core::PreparedTask prepared = core::prepare(task);
     auto images = prepared.eval_images(n_eval);
     auto labels = prepared.eval_labels(n_eval);
@@ -53,7 +54,7 @@ int main() {
 
     for (auto& attacker_xbar : models) {
       // 1. Attacker queries the network deployed on THEIR crossbar model.
-      Stopwatch sw;
+      trace::Span sw("bench/stage");
       attack::EnsembleBbOptions bb_opt;
       bb_opt.epochs =
           static_cast<std::int64_t>(env_int("NVMROBUST_SURR_EPOCHS", 12));

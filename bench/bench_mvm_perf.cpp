@@ -7,11 +7,18 @@
 // NVM_THREADS), so one run reports the scaling curve. To capture a BENCH
 // trajectory file for a PR, emit machine-readable JSON:
 //
-//   ./build/bench/bench_mvm_perf \
-//       --benchmark_out=bench_mvm_perf.json --benchmark_out_format=json
+//   ./build/bench/bench_mvm_perf --benchmark_out=bench_mvm_perf.json
+//       --benchmark_out_format=json
+//
+// --metrics-out PATH additionally writes the nvm::metrics run manifest.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/thread_pool.h"
+#include "core/report.h"
 #include "puma/tiled_mvm.h"
 #include "tensor/ops.h"
 #include "xbar/circuit_solver.h"
@@ -161,4 +168,27 @@ BENCHMARK(BM_FloatGemmReference);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN: peel our --metrics-out flag off argv before
+// google-benchmark sees (and rejects) it, and write the run manifest after
+// the benchmarks finish.
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  nvm::core::RunManifest manifest =
+      nvm::core::RunManifest::from_env("bench_mvm_perf", metrics_path);
+
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

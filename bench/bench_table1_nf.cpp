@@ -7,15 +7,16 @@
 #include <cstdio>
 #include <map>
 
+#include "bench_util.h"
 #include "common/env.h"
-#include "common/stopwatch.h"
 #include "core/report.h"
 #include "xbar/fast_noise.h"
 #include "xbar/model_zoo.h"
 #include "xbar/nf.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_table1_nf");
   const std::map<std::string, double> paper_nf = {
       {"64x64_300k", 0.07}, {"32x32_100k", 0.14}, {"64x64_100k", 0.26}};
 
@@ -25,7 +26,7 @@ int main() {
   core::TablePrinter table({"Crossbar Model", "Size", "R_ON (ohm)",
                             "NF paper", "NF solver", "NF geniex",
                             "NF fast-noise", "cols measured"});
-  Stopwatch watch;
+  trace::Span watch("bench/total");
   for (const auto& name : xbar::paper_model_names()) {
     const xbar::CrossbarConfig cfg = xbar::preset(name);
 
@@ -43,6 +44,9 @@ int main() {
                   static_cast<long long>(cfg.rows),
                   static_cast<long long>(cfg.cols));
     std::snprintf(ron, sizeof ron, "%.0fk", cfg.r_on / 1000.0);
+    manifest.add_result("nf_solver_" + name, nf_solver.nf);
+    manifest.add_result("nf_geniex_" + name, nf_geniex.nf);
+    manifest.add_result("nf_fast_noise_" + name, nf_fast.nf);
     table.add_row({name, size, ron, core::fmt(paper_nf.at(name)),
                    core::fmt(static_cast<float>(nf_solver.nf)),
                    core::fmt(static_cast<float>(nf_geniex.nf)),

@@ -43,7 +43,7 @@ std::vector<std::string> eval_row(
 }
 
 void run_task(const core::Task& task, std::vector<bench::NamedModel>& models) {
-  Stopwatch total;
+  trace::Span total("bench/total");
   core::PreparedTask prepared = core::prepare(task);
   const bool imagenet = task.name == "SIMAGENET";
   const std::int64_t n_eval =
@@ -64,7 +64,7 @@ void run_task(const core::Task& task, std::vector<bench::NamedModel>& models) {
   // Ensemble black-box PGD at paper eps 4/255 (CIFAR tasks only, as in
   // the paper's Table III).
   if (!imagenet) {
-    Stopwatch sw;
+    trace::Span sw("bench/stage");
     attack::EnsembleBbOptions bb_opt;
     bb_opt.epochs = static_cast<std::int64_t>(
         env_int("NVMROBUST_SURR_EPOCHS", 12));
@@ -87,7 +87,7 @@ void run_task(const core::Task& task, std::vector<bench::NamedModel>& models) {
   // Square attack (black box) at paper eps 4/255, querying the digital
   // implementation (non-adaptive).
   {
-    Stopwatch sw;
+    trace::Span sw("bench/stage");
     attack::NetworkAttackModel victim(prepared.network);
     attack::SquareOptions opt;
     opt.epsilon = task.scaled_eps(4.0f);
@@ -104,7 +104,7 @@ void run_task(const core::Task& task, std::vector<bench::NamedModel>& models) {
 
   // White-box PGD at paper eps 1/255 and 2/255.
   for (float eps : {1.0f, 2.0f}) {
-    Stopwatch sw;
+    trace::Span sw("bench/stage");
     attack::NetworkAttackModel attacker(prepared.network);
     attack::PgdOptions opt;
     opt.epsilon = task.scaled_eps(eps);
@@ -126,7 +126,9 @@ void run_task(const core::Task& task, std::vector<bench::NamedModel>& models) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  nvm::core::RunManifest manifest =
+      nvm::bench::bench_manifest(argc, argv, "bench_table3_summary");
   auto models = nvm::bench::paper_models();
   for (const auto& task :
        {nvm::core::task_scifar10(), nvm::core::task_scifar100(),

@@ -40,8 +40,9 @@ std::vector<std::string> transfer_row(const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nvm;
+  core::RunManifest manifest = bench::bench_manifest(argc, argv, "bench_table4_adaptive");
   auto models = bench::paper_models();
   auto attacker_bb = xbar::make_geniex("64x64_100k");   // Ensemble BB + WB
   auto attacker_sq = xbar::make_geniex("32x32_100k");   // Square
@@ -52,7 +53,7 @@ int main() {
 
   for (core::Task task : {core::task_scifar10(), core::task_scifar100(),
                           core::task_simagenet()}) {
-    Stopwatch total;
+    trace::Span total("bench/total");
     const bool imagenet = task.name == "SIMAGENET";
     core::PreparedTask prepared = core::prepare(task);
     const std::int64_t n_eval = env_int(
@@ -63,7 +64,7 @@ int main() {
 
     // --- Ensemble BB adaptive (CIFAR tasks, paper eps 4/255). ---
     if (!imagenet) {
-      Stopwatch sw;
+      trace::Span sw("bench/stage");
       const auto n_query = static_cast<std::size_t>(std::min<std::int64_t>(
           scaled(300, 4000),
           static_cast<std::int64_t>(prepared.dataset.train_images.size())));
@@ -95,7 +96,7 @@ int main() {
     // --- Square adaptive: random search against the 32x32_100k hardware,
     //     30 queries (paper's crossbar-emulation budget). ---
     {
-      Stopwatch sw;
+      trace::Span sw("bench/stage");
       std::vector<Tensor> adv;
       {
         puma::HwDeployment dep(prepared.network, attacker_sq, calib);
@@ -117,7 +118,7 @@ int main() {
         imagenet ? std::vector<float>{1.0f} : std::vector<float>{1.0f, 2.0f};
     for (float eps : wb_eps) {
       if (imagenet && eps > 1.0f) continue;
-      Stopwatch sw;
+      trace::Span sw("bench/stage");
       std::vector<Tensor> adv;
       {
         puma::HwDeployment dep(prepared.network, attacker_bb, calib);

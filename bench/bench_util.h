@@ -9,12 +9,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
-#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "core/evaluator.h"
 #include "core/report.h"
 #include "core/tasks.h"
@@ -81,6 +82,17 @@ inline float randpad_defense_accuracy(nn::Network& net,
                        nn::Mode::Eval);
   };
   return core::accuracy(fn, images, labels);
+}
+
+/// Run manifest for a bench binary: --metrics-out PATH on the command
+/// line wins, NVM_METRICS_OUT next; inert when neither is set. Construct
+/// it first thing in main() so metric baselines are taken before any work.
+inline core::RunManifest bench_manifest(int argc, char** argv,
+                                        const std::string& name) {
+  std::string path;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--metrics-out") == 0) path = argv[i + 1];
+  return core::RunManifest::from_env(name, path);
 }
 
 /// Progress line helper for long crafting phases.

@@ -18,6 +18,11 @@
 //       conductance-drift time, with failure-handling counters per row.
 //
 // All artifacts cache under ./repro_cache; everything is deterministic.
+//
+// Every subcommand accepts --metrics-out PATH (or the NVM_METRICS_OUT env
+// var) to write a JSON run manifest with the crossbar config, results, and
+// metric/health/span deltas of the run (see DESIGN.md §10).
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -25,10 +30,17 @@
 #include <string>
 
 #include "attack/pgd.h"
+#include "attack/square.h"
 #include "core/evaluator.h"
 #include "core/fault_sweep.h"
+#include "core/report.h"
 #include "core/tasks.h"
+#include "nn/loss.h"
 #include "puma/hw_network.h"
+#include "puma/tiled_mvm.h"
+#include "tensor/ops.h"
+#include "xbar/fast_noise.h"
+#include "xbar/geniex.h"
 #include "xbar/model_zoo.h"
 #include "xbar/nf.h"
 
@@ -62,6 +74,14 @@ std::string flag_or(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+/// Manifest for this invocation: --metrics-out wins, NVM_METRICS_OUT next,
+/// otherwise the manifest is inert.
+core::RunManifest manifest_for(const std::string& cmd,
+                               const std::map<std::string, std::string>& flags) {
+  return core::RunManifest::from_env(
+      "cli/" + cmd, flag_or(flags, "metrics-out", std::string()));
+}
+
 core::Task find_task(const std::string& name) {
   for (const core::Task& t : core::all_tasks())
     if (t.name == name) return t;
@@ -71,6 +91,7 @@ core::Task find_task(const std::string& name) {
 }
 
 int cmd_nf(const std::map<std::string, std::string>& flags) {
+  core::RunManifest manifest = manifest_for("nf", flags);
   xbar::CrossbarConfig cfg = xbar::xbar_64x64_100k();
   cfg.rows = static_cast<std::int64_t>(flag_or(flags, "rows", 64));
   cfg.cols = static_cast<std::int64_t>(flag_or(flags, "cols", cfg.rows));
@@ -97,6 +118,9 @@ int cmd_nf(const std::map<std::string, std::string>& flags) {
   std::printf("design %s: NF = %.4f +- %.4f (geniex), %.4f +- %.4f (solver)\n",
               cfg.name.c_str(), geniex_nf.nf, geniex_nf.nf_stddev,
               solver_nf.nf, solver_nf.nf_stddev);
+  manifest.set_xbar(cfg);
+  manifest.add_result("nf_geniex", geniex_nf.nf);
+  manifest.add_result("nf_solver", solver_nf.nf);
   return 0;
 }
 
@@ -114,32 +138,38 @@ int cmd_tasks() {
 }
 
 int cmd_eval(const std::map<std::string, std::string>& flags) {
+  core::RunManifest manifest = manifest_for("eval", flags);
   core::PreparedTask prepared =
       core::prepare(find_task(flag_or(flags, "task", "SCIFAR10")));
   const auto n = static_cast<std::int64_t>(flag_or(flags, "n", 96));
   auto images = prepared.eval_images(n);
   auto labels = prepared.eval_labels(n);
+  manifest.set_note("task", prepared.task.name);
   const std::string xbar_name = flag_or(flags, "xbar", std::string());
   if (xbar_name.empty()) {
+    const float acc =
+        core::accuracy(core::plain_forward(prepared.network), images, labels);
     std::printf("%s digital accuracy: %.2f%% (n=%lld)\n",
-                prepared.task.name.c_str(),
-                core::accuracy(core::plain_forward(prepared.network), images,
-                               labels),
+                prepared.task.name.c_str(), acc,
                 static_cast<long long>(images.size()));
+    manifest.add_result("digital_accuracy", acc);
   } else {
     auto model = xbar::make_geniex(xbar_name);
     auto calib = prepared.calibration_images();
     puma::HwDeployment dep(prepared.network, model, calib);
+    const float acc =
+        core::accuracy(core::plain_forward(prepared.network), images, labels);
     std::printf("%s on %s: %.2f%% (n=%lld)\n", prepared.task.name.c_str(),
-                xbar_name.c_str(),
-                core::accuracy(core::plain_forward(prepared.network), images,
-                               labels),
+                xbar_name.c_str(), acc,
                 static_cast<long long>(images.size()));
+    manifest.set_xbar(model->config());
+    manifest.add_result("hw_accuracy", acc);
   }
   return 0;
 }
 
 int cmd_attack(const std::map<std::string, std::string>& flags) {
+  core::RunManifest manifest = manifest_for("attack", flags);
   core::PreparedTask prepared =
       core::prepare(find_task(flag_or(flags, "task", "SCIFAR10")));
   const auto n = static_cast<std::int64_t>(flag_or(flags, "n", 48));
@@ -156,23 +186,31 @@ int cmd_attack(const std::map<std::string, std::string>& flags) {
               opt.epsilon * 255.0f, static_cast<long long>(opt.iters),
               prepared.task.name.c_str(),
               static_cast<long long>(images.size()));
-  std::printf("  digital: clean %.2f%%, adversarial %.2f%%\n",
-              core::accuracy(core::plain_forward(prepared.network), images,
-                             labels),
-              core::accuracy(core::plain_forward(prepared.network),
-                             std::span<const Tensor>(adv.data(), adv.size()),
-                             labels));
+  const float clean =
+      core::accuracy(core::plain_forward(prepared.network), images, labels);
+  const float adv_acc =
+      core::accuracy(core::plain_forward(prepared.network),
+                     std::span<const Tensor>(adv.data(), adv.size()), labels);
+  std::printf("  digital: clean %.2f%%, adversarial %.2f%%\n", clean, adv_acc);
+  manifest.set_note("task", prepared.task.name);
+  manifest.add_result("digital_clean_accuracy", clean);
+  manifest.add_result("digital_adv_accuracy", adv_acc);
+  manifest.add_result("pgd_eps_255", opt.epsilon * 255.0f);
   const std::string xbar_name = flag_or(flags, "xbar", std::string());
   if (!xbar_name.empty()) {
     auto model = xbar::make_geniex(xbar_name);
     auto calib = prepared.calibration_images();
     puma::HwDeployment dep(prepared.network, model, calib);
+    const float hw_clean =
+        core::accuracy(core::plain_forward(prepared.network), images, labels);
+    const float hw_adv =
+        core::accuracy(core::plain_forward(prepared.network),
+                       std::span<const Tensor>(adv.data(), adv.size()), labels);
     std::printf("  %s: clean %.2f%%, adversarial %.2f%%\n", xbar_name.c_str(),
-                core::accuracy(core::plain_forward(prepared.network), images,
-                               labels),
-                core::accuracy(core::plain_forward(prepared.network),
-                               std::span<const Tensor>(adv.data(), adv.size()),
-                               labels));
+                hw_clean, hw_adv);
+    manifest.set_xbar(model->config());
+    manifest.add_result("hw_clean_accuracy", hw_clean);
+    manifest.add_result("hw_adv_accuracy", hw_adv);
   }
   return 0;
 }
@@ -188,6 +226,7 @@ std::vector<double> parse_list(const std::string& s) {
 }
 
 int cmd_fault_sweep(const std::map<std::string, std::string>& flags) {
+  core::RunManifest manifest = manifest_for("fault_sweep", flags);
   core::PreparedTask prepared =
       core::prepare(find_task(flag_or(flags, "task", "SCIFAR10")));
   const std::string xbar_name = flag_or(flags, "xbar", "64x64_100k");
@@ -227,12 +266,134 @@ int cmd_fault_sweep(const std::map<std::string, std::string>& flags) {
   const auto result = core::run_fault_sweep(prepared, base, opt);
   core::print_fault_sweep(prepared.task, base->name() + "/" + xbar_name, opt,
                           result);
+  manifest.set_xbar(base->config());
+  manifest.set_note("task", prepared.task.name);
+  manifest.set_note("model", base->name());
+  manifest.add_result("sweep_rows", static_cast<double>(result.rows.size()));
+  manifest.add_result("digital_clean_accuracy", result.digital_clean);
+  if (!result.rows.empty()) {
+    manifest.add_result("clean_accuracy_first", result.rows.front().clean);
+    manifest.add_result("clean_accuracy_last", result.rows.back().clean);
+  }
+  return 0;
+}
+
+/// Attack view of a TiledMatrix linear classifier: logits are the deployed
+/// (quantized, noisy) matmul; gradients use the ideal float weights.
+class TiledAttackModel final : public attack::AttackModel {
+ public:
+  TiledAttackModel(const puma::TiledMatrix& tiled, const Tensor& w)
+      : tiled_(tiled), wt_(transpose2d(w)) {}
+
+  Tensor logits(const Tensor& x) override {
+    Tensor flat = x.reshaped({x.numel(), 1});
+    return tiled_.matmul(flat).reshaped({tiled_.rows()});
+  }
+
+  Tensor loss_input_grad(const Tensor& x, std::int64_t label,
+                         float* loss_out) override {
+    Tensor p = nn::softmax(logits(x));
+    if (loss_out != nullptr)
+      *loss_out = -std::log(std::max(p[label], 1e-12f));
+    p[label] -= 1.0f;
+    return matvec(wt_, p).reshaped(x.shape());
+  }
+
+ private:
+  const puma::TiledMatrix& tiled_;
+  Tensor wt_;  // (K, M)
+};
+
+/// Fast self-contained smoke run (< 1 s, no training, no cache): exercises
+/// the circuit solver, a tiled fast-noise deployment of a tiny linear
+/// classifier, and both attack families, so a --metrics-out manifest from
+/// this command carries every layer's metrics.
+int cmd_quickstart(const std::map<std::string, std::string>& flags) {
+  core::RunManifest manifest = manifest_for("quickstart", flags);
+
+  xbar::CrossbarConfig cfg = xbar::xbar_32x32_100k();
+  cfg.rows = cfg.cols = 16;
+  cfg.name = "quickstart_16x16";
+  manifest.set_xbar(cfg);
+
+  // 1. Circuit solver: a handful of nodal solves on random programmings.
+  const auto n_solves = static_cast<int>(flag_or(flags, "solves", 6));
+  Rng rng(7);
+  xbar::SolverOptions sopt;
+  double sweeps_total = 0.0;
+  for (int s = 0; s < n_solves; ++s) {
+    Tensor g = xbar::sample_conductances(cfg, rng);
+    Tensor v = xbar::sample_voltages(cfg, rng);
+    int sweeps = 0;
+    (void)xbar::solve_crossbar(cfg, sopt, g, v, &sweeps);
+    sweeps_total += sweeps;
+  }
+  const double mean_sweeps = sweeps_total / n_solves;
+
+  // 2. Tiny linear classifier (8 classes x 16 features) deployed on
+  // fast-noise crossbar tiles; "labels" come from the ideal float weights.
+  const std::int64_t classes = 8, feat = 16;
+  const auto n_eval = static_cast<std::int64_t>(flag_or(flags, "n", 48));
+  Rng wrng(11);
+  Tensor w({classes, feat});
+  for (auto& v : w.data())
+    v = static_cast<float>(wrng.uniform(-1.0, 1.0));
+  Tensor x({feat, n_eval});
+  for (auto& v : x.data()) v = static_cast<float>(wrng.uniform());
+
+  auto noise_model = std::make_shared<xbar::FastNoiseModel>(cfg);
+  puma::TiledMatrix tiled(w, noise_model, puma::HwConfig{});
+  Tensor ideal = matmul(w, x);
+  Tensor deployed = tiled.matmul(x);
+  std::int64_t correct = 0;
+  for (std::int64_t k = 0; k < n_eval; ++k) {
+    std::int64_t ideal_arg = 0, hw_arg = 0;
+    for (std::int64_t j = 1; j < classes; ++j) {
+      if (ideal.at(j, k) > ideal.at(ideal_arg, k)) ideal_arg = j;
+      if (deployed.at(j, k) > deployed.at(hw_arg, k)) hw_arg = j;
+    }
+    if (ideal_arg == hw_arg) ++correct;
+  }
+  const double hw_acc =
+      100.0 * static_cast<double>(correct) / static_cast<double>(n_eval);
+
+  // 3. Attacks against the deployed classifier: FGSM (gradient path) and
+  // Square (black-box query path) on a few 1x4x4 "images".
+  TiledAttackModel victim(tiled, w);
+  attack::SquareOptions sq;
+  sq.epsilon = 0.15f;
+  sq.max_queries = static_cast<std::int64_t>(flag_or(flags, "queries", 30));
+  std::int64_t square_wins = 0;
+  const std::int64_t n_attack = std::min<std::int64_t>(4, n_eval);
+  for (std::int64_t k = 0; k < n_attack; ++k) {
+    Tensor img({1, 4, 4});
+    for (std::int64_t i = 0; i < feat; ++i) img.data()[static_cast<std::size_t>(i)] = x.at(i, k);
+    const std::int64_t label = victim.predict(img);
+    sq.seed = 100 + static_cast<std::uint64_t>(k);
+    if (attack::square_attack(victim, img, label, sq).success) ++square_wins;
+    (void)attack::fgsm_attack(victim, img, label, sq.epsilon);
+  }
+
+  std::printf(
+      "quickstart on %s: %d solves (mean %.1f sweeps), tiled linear "
+      "hw-vs-ideal agreement %.1f%% (n=%lld), square success %lld/%lld\n",
+      cfg.name.c_str(), n_solves, mean_sweeps, hw_acc,
+      static_cast<long long>(n_eval), static_cast<long long>(square_wins),
+      static_cast<long long>(n_attack));
+
+  manifest.set_note("model", "fast_noise tiled linear");
+  manifest.add_result("hw_accuracy", hw_acc);
+  manifest.add_result("mean_sweeps", mean_sweeps);
+  manifest.add_result("square_success_rate",
+                      100.0 * static_cast<double>(square_wins) /
+                          static_cast<double>(n_attack));
   return 0;
 }
 
 void usage() {
   std::printf(
       "usage: nvmrobust_cli <command> [--flag value ...]\n"
+      "  quickstart [--n K --solves S]       fast all-layer smoke run\n"
       "  tasks                               list built-in tasks\n"
       "  nf     [--rows N --ron OHM ...]     NF of a custom crossbar design\n"
       "  eval   --task NAME [--xbar MODEL]   clean accuracy\n"
@@ -242,7 +403,9 @@ void usage() {
       "              --rates 0,0.01,0.05 --drift 0 --chip S --n K\n"
       "              --attack pgd|square|both|none --eps E --iters I]\n"
       "                                      accuracy vs device fault rate\n"
-      "crossbar MODEL is one of: 64x64_300k, 32x32_100k, 64x64_100k\n");
+      "crossbar MODEL is one of: 64x64_300k, 32x32_100k, 64x64_100k\n"
+      "every command also accepts --metrics-out PATH (or NVM_METRICS_OUT)\n"
+      "to write a JSON run manifest\n");
 }
 
 }  // namespace
@@ -254,6 +417,7 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const auto flags = parse_flags(argc, argv, 2);
+  if (cmd == "quickstart") return cmd_quickstart(flags);
   if (cmd == "nf") return cmd_nf(flags);
   if (cmd == "tasks") return cmd_tasks();
   if (cmd == "eval") return cmd_eval(flags);

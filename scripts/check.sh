@@ -14,6 +14,26 @@ cmake --preset release >/dev/null
 cmake --build --preset release -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== tier-1: observability smoke (quickstart manifest) =="
+MANIFEST=/tmp/nvmrobust_check_manifest.json
+rm -f "$MANIFEST"
+./build/examples/nvmrobust_cli quickstart --metrics-out "$MANIFEST"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$MANIFEST" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["run"] == "cli/quickstart", m["run"]
+assert m["metrics"]["solver/solves"] > 0, "solver/solves must be nonzero"
+assert m["xbar"]["rows"] > 0
+print("manifest ok: %d metrics, %d spans" % (len(m["metrics"]), len(m["spans"])))
+EOF
+else
+  # Fallback: grep-level sanity when python3 is unavailable.
+  grep -q '"run": "cli/quickstart"' "$MANIFEST"
+  grep -q '"solver/solves": [1-9]' "$MANIFEST"
+  echo "manifest ok (grep check)"
+fi
+
 if [[ "${1:-}" == "--skip-sanitize" ]]; then
   echo "== sanitizer pass skipped =="
   exit 0

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the fast benchmark set with --metrics-out and collects one
+# BENCH_<name>.json run manifest per binary at the repo root (crossbar
+# config, accuracy/NF results, health deltas, metric values, span
+# timings — see DESIGN.md §10 for the schema).
+#
+# Only benches that finish in ~minutes are included; the figure/table
+# reproduction benches (bench_fig*, bench_table3/4, ...) accept the same
+# --metrics-out flag when run by hand.
+#
+# Usage: scripts/run_benches.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+if [[ ! -d "$BUILD/bench" ]]; then
+  echo "error: $BUILD/bench not found — build the release preset first" >&2
+  exit 1
+fi
+
+run() {
+  local name="$1"
+  shift
+  echo "== $name =="
+  "$@" --metrics-out "BENCH_${name}.json"
+  echo "   -> BENCH_${name}.json"
+}
+
+run quickstart "$BUILD/examples/nvmrobust_cli" quickstart
+run table1_nf "$BUILD/bench/bench_table1_nf"
+run cost_model "$BUILD/bench/bench_cost_model"
+# Microbenchmarks: restrict to the sub-second MVM set so the script stays
+# fast; drop the filter for the full scaling curves.
+run mvm_perf "$BUILD/bench/bench_mvm_perf" \
+  --benchmark_filter='BM_IdealMvm|BM_FastNoiseMvm|BM_TiledMatmul/0' \
+  --benchmark_min_time=0.05
+
+echo "== bench manifests =="
+ls -l BENCH_*.json

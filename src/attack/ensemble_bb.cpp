@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "common/file_cache.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/resnet.h"
@@ -95,6 +97,10 @@ SurrogateEnsemble SurrogateEnsemble::distill(const QueryFn& victim,
   }
 
   // Build the synthetic dataset: one victim query per image.
+  NVM_TRACE_SPAN("attack/ensemble/distill");
+  static metrics::Counter& victim_queries =
+      metrics::counter("attack/ensemble/victim_queries");
+  victim_queries.add(images.size());
   NVM_LOG(Info) << "querying victim for " << images.size()
                 << " synthetic labels";
   std::vector<Tensor> soft_targets;

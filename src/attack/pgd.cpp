@@ -3,10 +3,18 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/metrics.h"
 
 namespace nvm::attack {
 
 namespace {
+
+/// White-box gradient evaluations across pgd/mi-fgsm/fgsm — the cost
+/// metric the paper's attack-strength comparisons are normalized by.
+metrics::Counter& grad_steps() {
+  static metrics::Counter& c = metrics::counter("attack/pgd/grad_steps");
+  return c;
+}
 
 /// Projects `adv` onto the l_inf ball of radius eps around `x`, then onto
 /// the valid pixel range [0, 1].
@@ -42,6 +50,7 @@ Tensor pgd_attack(AttackModel& model, const Tensor& x, std::int64_t label,
       pa[i] += alpha * (pg[i] > 0.0f ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f));
     project(adv, x, opt.epsilon);
   }
+  grad_steps().add(static_cast<std::uint64_t>(opt.iters));
   return adv;
 }
 
@@ -67,6 +76,7 @@ Tensor mi_fgsm_attack(AttackModel& model, const Tensor& x, std::int64_t label,
     }
     project(adv, x, opt.epsilon);
   }
+  grad_steps().add(static_cast<std::uint64_t>(opt.iters));
   return adv;
 }
 
@@ -80,6 +90,7 @@ Tensor fgsm_attack(AttackModel& model, const Tensor& x, std::int64_t label,
   for (std::size_t i = 0; i < pa.size(); ++i)
     pa[i] += epsilon * (pg[i] > 0.0f ? 1.0f : (pg[i] < 0.0f ? -1.0f : 0.0f));
   project(adv, x, epsilon);
+  grad_steps().add();
   return adv;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "nn/loss.h"
 
 namespace nvm::attack {
@@ -47,11 +48,14 @@ SquareResult square_attack(AttackModel& model, const Tensor& x,
         res.adv.at(ch, row, col) = clamp01(x.at(ch, row, col) + delta);
     }
 
+  static metrics::Counter& queries = metrics::counter("attack/square/queries");
+
   Tensor logits = model.logits(res.adv);
   ++res.queries_used;
   float best_margin = nn::margin(logits, label);
   if (best_margin < 0) {
     res.success = true;
+    queries.add(static_cast<std::uint64_t>(res.queries_used));
     return res;
   }
 
@@ -88,6 +92,7 @@ SquareResult square_attack(AttackModel& model, const Tensor& x,
       }
     }
   }
+  queries.add(static_cast<std::uint64_t>(res.queries_used));
   return res;
 }
 

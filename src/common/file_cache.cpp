@@ -8,10 +8,24 @@
 #include "common/check.h"
 #include "common/health.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace nvm {
 
 namespace {
+
+// Every cache_load resolves to exactly one of hit/miss; corruption is
+// additionally tallied (as a miss plus "cache/file/corrupt" via the
+// health bump in quarantine()).
+metrics::Counter& hits() {
+  static metrics::Counter& c = metrics::counter("cache/file/hits");
+  return c;
+}
+metrics::Counter& misses() {
+  static metrics::Counter& c = metrics::counter("cache/file/misses");
+  return c;
+}
 
 // "NVMD": checksummed format — magic, tag, payload CRC32, payload size,
 // payload bytes. The previous "NVMC" magic (no checksum) is treated as
@@ -31,6 +45,10 @@ void quarantine(const std::string& path, const char* why) {
   if (ec) std::filesystem::remove(path, ec);
 }
 
+/// cache_load body; the public wrapper adds hit/miss accounting.
+bool load_entry(const std::string& name, const std::string& tag,
+                const std::function<void(BinaryReader&)>& load);
+
 }  // namespace
 
 std::string cache_dir() {
@@ -42,6 +60,16 @@ std::string cache_dir() {
 }
 
 bool cache_load(const std::string& name, const std::string& tag,
+                const std::function<void(BinaryReader&)>& load) {
+  NVM_TRACE_SPAN("cache/file/load");
+  const bool ok = load_entry(name, tag, load);
+  (ok ? hits() : misses()).add();
+  return ok;
+}
+
+namespace {
+
+bool load_entry(const std::string& name, const std::string& tag,
                 const std::function<void(BinaryReader&)>& load) {
   const std::string path = cache_dir() + "/" + name;
   std::ifstream is(path, std::ios::binary);
@@ -89,8 +117,13 @@ bool cache_load(const std::string& name, const std::string& tag,
   }
 }
 
+}  // namespace
+
 void cache_store(const std::string& name, const std::string& tag,
                  const std::function<void(BinaryWriter&)>& save) {
+  NVM_TRACE_SPAN("cache/file/store");
+  static metrics::Counter& stores = metrics::counter("cache/file/stores");
+  stores.add();
   // Serialize to memory first: the checksum needs the whole payload, and
   // a save() that throws must not leave a half-written file behind.
   std::ostringstream buf;

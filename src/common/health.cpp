@@ -1,28 +1,46 @@
 #include "common/health.h"
 
 #include <array>
-#include <atomic>
 #include <sstream>
+
+#include "common/metrics.h"
 
 namespace nvm {
 
 namespace {
 
-std::array<std::atomic<std::uint64_t>, kHealthCounterCount>& counters() {
-  static std::array<std::atomic<std::uint64_t>, kHealthCounterCount> c{};
+constexpr std::array<const char*, kHealthCounterCount> kMetricNames = {
+    "solver/nonconverged",
+    "xbar/nonfinite_outputs",
+    "xbar/geniex/fallbacks",
+    "cache/file/corrupt",
+};
+
+// The four counters live in the process-wide metrics registry; this array
+// just caches the registered references so bump() stays a single relaxed
+// fetch_add on the hot path.
+std::array<metrics::Counter*, kHealthCounterCount>& counters() {
+  static std::array<metrics::Counter*, kHealthCounterCount> c = [] {
+    std::array<metrics::Counter*, kHealthCounterCount> a{};
+    for (int i = 0; i < kHealthCounterCount; ++i)
+      a[static_cast<std::size_t>(i)] = &metrics::counter(kMetricNames[static_cast<std::size_t>(i)]);
+    return a;
+  }();
   return c;
 }
 
 }  // namespace
 
+const char* health_metric_name(HealthCounter c) {
+  return kMetricNames[static_cast<std::size_t>(c)];
+}
+
 std::uint64_t bump(HealthCounter c, std::uint64_t n) {
-  return counters()[static_cast<int>(c)].fetch_add(
-             n, std::memory_order_relaxed) +
-         n;
+  return counters()[static_cast<std::size_t>(c)]->add(n);
 }
 
 std::uint64_t health_value(HealthCounter c) {
-  return counters()[static_cast<int>(c)].load(std::memory_order_relaxed);
+  return counters()[static_cast<std::size_t>(c)]->value();
 }
 
 HealthSnapshot health_snapshot() {
@@ -57,7 +75,7 @@ std::string HealthSnapshot::summary() const {
 }
 
 void reset_health_counters() {
-  for (auto& c : counters()) c.store(0, std::memory_order_relaxed);
+  for (metrics::Counter* c : counters()) c->reset();
 }
 
 }  // namespace nvm

@@ -8,8 +8,10 @@
 // report the deltas next to accuracy numbers, so "the result came back"
 // and "the result is trustworthy" stay distinguishable.
 //
-// Counters are relaxed atomics: cheap enough for hot paths and exact
-// under the thread pool (no ordering is needed for monotonic tallies).
+// Each health counter IS a metrics::Counter registered under a canonical
+// name (see health_metric_name), so health_snapshot() and the run-manifest
+// exporter report from one source of truth: bump() is the single increment
+// path, and both views read the same relaxed atomic.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +26,9 @@ enum class HealthCounter : int {
   CacheCorrupt = 3,        ///< cache entry failed its checksum / truncated
 };
 inline constexpr int kHealthCounterCount = 4;
+
+/// Canonical metric name backing counter `c` (e.g. "solver/nonconverged").
+const char* health_metric_name(HealthCounter c);
 
 /// Increments `c` by `n`; returns the post-increment value.
 std::uint64_t bump(HealthCounter c, std::uint64_t n = 1);

@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <iostream>
 
 namespace nvm {
@@ -33,15 +37,37 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+int log_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::string log_prefix(LogLevel level, const char* file, int line) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%S", &tm);
+
+  const char* base = std::strrchr(file, '/');
+  char prefix[192];
+  std::snprintf(prefix, sizeof prefix, "[%s %s.%03d t%d %s:%d] ",
+                level_name(level), stamp, static_cast<int>(ms),
+                log_thread_id(), base != nullptr ? base + 1 : file, line);
+  return prefix;
+}
+
 namespace detail {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level <= g_level) {
-  if (enabled_) {
-    const char* base = std::strrchr(file, '/');
-    stream_ << "[" << level_name(level) << " "
-            << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
-  }
+  if (enabled_) stream_ << log_prefix(level, file, line);
 }
 
 LogMessage::~LogMessage() {

@@ -3,6 +3,12 @@
 // Usage: NVM_LOG(Info) << "trained " << n << " epochs";
 // The global threshold is controlled by set_log_level() or the
 // NVMROBUST_LOG env var (error|warn|info|debug).
+//
+// Line format (stable — tests grep it; see log_prefix()):
+//   [<LEVEL> <ISO-8601 local time with ms> t<thread> <file>:<line>] <msg>
+//   [W 2026-08-05T14:03:21.042 t0 circuit_solver.cpp:153] crossbar solve ...
+// The level letter stays the first token inside the bracket, so filters
+// like `grep '^\[W '` keep working across format extensions.
 #pragma once
 
 #include <sstream>
@@ -18,12 +24,21 @@ void set_log_level(LogLevel level);
 /// Current global threshold (initialized from NVMROBUST_LOG on first use).
 LogLevel log_level();
 
+/// Small sequential id of the calling thread (0 = first thread to log).
+int log_thread_id();
+
+/// The bracketed line prefix for a message logged here and now, e.g.
+/// "[I 2026-08-05T14:03:21.042 t0 tasks.cpp:141] " (exposed for tests).
+std::string log_prefix(LogLevel level, const char* file, int line);
+
 namespace detail {
 
 /// Accumulates one log line and flushes it on destruction.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);
+  /// True when the message passes the level threshold (exposed for tests).
+  bool enabled() const { return enabled_; }
   ~LogMessage();
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;

@@ -1,0 +1,188 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace nvm::metrics {
+
+namespace {
+
+struct Entry {
+  Kind kind;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Entry> entries;
+};
+
+// Leaked on purpose: metrics may be bumped by pool workers draining after
+// main() returns, so the registry must outlive every static destructor.
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+void check_name(const std::string& name) {
+  NVM_CHECK(!name.empty(), "metric name must not be empty");
+  for (char c : name)
+    NVM_CHECK((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '/' ||
+                  c == '_' || c == '.',
+              "metric name '" << name
+                              << "' must be lowercase layer/component/name");
+}
+
+Entry& find_or_create(const std::string& name, Kind kind,
+                      std::vector<double> bounds) {
+  check_name(name);
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.entries.find(name);
+  if (it == reg.entries.end()) {
+    Entry e;
+    e.kind = kind;
+    switch (kind) {
+      case Kind::Counter: e.counter = std::make_unique<Counter>(); break;
+      case Kind::Gauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Kind::Histogram:
+        e.histogram = std::make_unique<Histogram>(std::move(bounds));
+        break;
+    }
+    it = reg.entries.emplace(name, std::move(e)).first;
+  }
+  NVM_CHECK(it->second.kind == kind,
+            "metric '" << name << "' already registered as a different kind");
+  if (kind == Kind::Histogram && !bounds.empty())
+    NVM_CHECK(it->second.histogram->bounds() == bounds,
+              "histogram '" << name << "' re-registered with other bounds");
+  return it->second;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1) {
+  NVM_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    NVM_CHECK(bounds_[i - 1] < bounds_[i],
+              "histogram bounds must be strictly increasing");
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> duration_ns_bounds() {
+  return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+}
+
+Counter& counter(const std::string& name) {
+  return *find_or_create(name, Kind::Counter, {}).counter;
+}
+
+Gauge& gauge(const std::string& name) {
+  return *find_or_create(name, Kind::Gauge, {}).gauge;
+}
+
+Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+  if (bounds.empty()) bounds = duration_ns_bounds();
+  return *find_or_create(name, Kind::Histogram, std::move(bounds)).histogram;
+}
+
+std::vector<MetricValue> snapshot() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<MetricValue> out;
+  out.reserve(reg.entries.size());
+  for (const auto& [name, e] : reg.entries) {
+    MetricValue v;
+    v.name = name;
+    v.kind = e.kind;
+    switch (e.kind) {
+      case Kind::Counter:
+        v.value = static_cast<double>(e.counter->value());
+        break;
+      case Kind::Gauge:
+        v.value = e.gauge->value();
+        break;
+      case Kind::Histogram:
+        v.count = e.histogram->count();
+        v.sum = e.histogram->sum();
+        v.bounds = e.histogram->bounds();
+        v.buckets = e.histogram->bucket_counts();
+        break;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<MetricValue> delta(const std::vector<MetricValue>& now,
+                               const std::vector<MetricValue>& base) {
+  std::map<std::string, const MetricValue*> by_name;
+  for (const MetricValue& b : base) by_name[b.name] = &b;
+  std::vector<MetricValue> out;
+  out.reserve(now.size());
+  for (const MetricValue& n : now) {
+    MetricValue d = n;
+    auto it = by_name.find(n.name);
+    if (it != by_name.end() && it->second->kind == n.kind) {
+      const MetricValue& b = *it->second;
+      switch (n.kind) {
+        case Kind::Counter:
+          d.value = n.value - b.value;
+          break;
+        case Kind::Gauge:
+          break;  // last-write-wins: report the current value
+        case Kind::Histogram:
+          d.count = n.count - b.count;
+          d.sum = n.sum - b.sum;
+          if (b.buckets.size() == n.buckets.size())
+            for (std::size_t i = 0; i < d.buckets.size(); ++i)
+              d.buckets[i] = n.buckets[i] - b.buckets[i];
+          break;
+      }
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+void reset_all_for_tests() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, e] : reg.entries) {
+    switch (e.kind) {
+      case Kind::Counter: e.counter->reset(); break;
+      case Kind::Gauge: e.gauge->reset(); break;
+      case Kind::Histogram: e.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace nvm::metrics

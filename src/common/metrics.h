@@ -1,0 +1,124 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// The registry is the machine-readable counterpart of NVM_LOG: every
+// paper-meaningful quantity that used to evaporate into stdout text
+// (circuit solves, Gauss-Seidel sweeps, surrogate predictions, black-box
+// attack queries, cache hits) is tallied here and exported into the JSON
+// run manifest (core/report.h), so runs can be compared across configs,
+// attacks, and PRs.
+//
+// Naming scheme: "layer/component/name", lowercase, '/'-separated — e.g.
+// "solver/sweeps", "attack/square/queries", "xbar/geniex/fallbacks". See
+// DESIGN.md §10 for the full table.
+//
+// Concurrency: all mutation paths are relaxed atomics — cheap enough for
+// hot paths and exact under the thread pool (monotonic tallies need no
+// ordering). Registration (find-or-create by name) takes a mutex, so call
+// sites cache the returned reference in a function-local static:
+//
+//   static metrics::Counter& solves = metrics::counter("solver/solves");
+//   solves.add();
+//
+// Returned references stay valid for the process lifetime (the registry is
+// intentionally leaked so worker threads draining at exit never touch a
+// destroyed metric).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvm::metrics {
+
+/// Monotonic event tally.
+class Counter {
+ public:
+  /// Increments by `n`; returns the post-increment value (for throttles).
+  std::uint64_t add(std::uint64_t n = 1) {
+    return v_.fetch_add(n, std::memory_order_relaxed) + n;
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Tests only; experiments should diff snapshots instead.
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar (fit quality, configured sizes, wall times).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket counts the rest. Also tracks count and sum.
+/// Bucket counts and (count, sum) are individually exact but not updated
+/// atomically as a group; snapshots taken while observers run may be
+/// momentarily inconsistent by one in-flight observation.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1.
+  std::vector<std::uint64_t> bucket_counts() const;
+  /// Tests only.
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram bounds: nanosecond-scale durations, decade spaced
+/// (1us .. 10s).
+std::vector<double> duration_ns_bounds();
+
+/// Find-or-create by name. The returned reference is valid for the process
+/// lifetime. Requesting an existing name as a different metric kind (or a
+/// histogram with different bounds) throws CheckError.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+/// Empty `bounds` selects duration_ns_bounds().
+Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+enum class Kind { Counter, Gauge, Histogram };
+
+/// One exported metric value (see snapshot()).
+struct MetricValue {
+  std::string name;
+  Kind kind = Kind::Counter;
+  double value = 0.0;        ///< counter total (as double) or gauge value
+  std::uint64_t count = 0;   ///< histogram observation count
+  double sum = 0.0;          ///< histogram observation sum
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+std::vector<MetricValue> snapshot();
+
+/// Per-metric difference of `now` against `base`: counters and histograms
+/// subtract (monotonic fields), gauges pass through `now`'s value. Metrics
+/// absent from `base` (registered later) keep their full value.
+std::vector<MetricValue> delta(const std::vector<MetricValue>& now,
+                               const std::vector<MetricValue>& base);
+
+/// Resets every registered metric to zero (tests only).
+void reset_all_for_tests();
+
+}  // namespace nvm::metrics

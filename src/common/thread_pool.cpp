@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/metrics.h"
 
 namespace nvm {
 
@@ -13,6 +15,19 @@ namespace {
 
 thread_local int t_parallel_depth = 0;
 thread_local ThreadPool* t_override_pool = nullptr;
+
+/// Chunks executed through parallel_chunks (inline, submitter, or worker).
+metrics::Counter& pool_chunks_run() {
+  static metrics::Counter& c = metrics::counter("pool/chunks_run");
+  return c;
+}
+
+/// Enqueue -> start latency of queued chunks (ns); the submitter's own
+/// chunk and inline/serial execution never wait and are not observed.
+metrics::Histogram& pool_queue_wait() {
+  static metrics::Histogram& h = metrics::histogram("pool/queue_wait_ns");
+  return h;
+}
 
 /// Marks the current thread as executing inside a parallel region for the
 /// guard's lifetime, so nested parallel calls degrade to inline loops.
@@ -104,6 +119,7 @@ void ThreadPool::parallel_chunks(std::int64_t n, std::int64_t max_chunks,
     // Serial path — same decomposition, same order, zero threading.
     for (std::int64_t c = 0; c < chunks; ++c)
       fn(c, chunk_begin(c), chunk_begin(c + 1));
+    pool_chunks_run().add(static_cast<std::uint64_t>(chunks));
     return;
   }
 
@@ -112,9 +128,17 @@ void ThreadPool::parallel_chunks(std::int64_t n, std::int64_t max_chunks,
     std::lock_guard<std::mutex> lock(mu_);
     for (std::int64_t c = 1; c < chunks; ++c)
       queue_.emplace_back([&ctx, &fn, c, b = chunk_begin(c),
-                           e = chunk_begin(c + 1)] { ctx.run(fn, c, b, e); });
+                           e = chunk_begin(c + 1),
+                           queued = std::chrono::steady_clock::now()] {
+        pool_queue_wait().observe(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - queued)
+                .count()));
+        ctx.run(fn, c, b, e);
+      });
   }
   cv_.notify_all();
+  pool_chunks_run().add(static_cast<std::uint64_t>(chunks));
 
   // The submitter is one of the size_ execution contexts: run chunk 0 here.
   ctx.run(fn, 0, chunk_begin(0), chunk_begin(1));

@@ -1,0 +1,147 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace nvm::trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+/// Per-thread accumulator for one span name. Only the owning thread
+/// writes; snapshot() reads the relaxed atomics from other threads.
+struct SpanSlot {
+  explicit SpanSlot(const char* n) : name(n) {}
+  std::string name;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total{0};
+  std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max{0};
+};
+
+/// One thread's span table. The mutex guards the map structure (rare
+/// insertions by the owner vs. iteration by snapshot); slot updates
+/// themselves are lock-free.
+struct ThreadTable {
+  std::mutex mu;
+  std::unordered_map<const void*, std::unique_ptr<SpanSlot>> slots;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadTable>> tables;
+};
+
+// Leaked on purpose (see metrics.cpp): keeps tables — including those of
+// exited threads — alive and mergeable for the process lifetime.
+TraceRegistry& registry() {
+  static TraceRegistry* r = new TraceRegistry;
+  return *r;
+}
+
+ThreadTable& tls_table() {
+  thread_local std::shared_ptr<ThreadTable> table = [] {
+    auto t = std::make_shared<ThreadTable>();
+    TraceRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.tables.push_back(t);
+    return t;
+  }();
+  return *table;
+}
+
+}  // namespace
+
+void SpanStats::merge(const SpanStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  total_ns += other.total_ns;
+  min_ns = std::min(min_ns, other.min_ns);
+  max_ns = std::max(max_ns, other.max_ns);
+}
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+void record(const char* name, std::uint64_t ns) {
+  ThreadTable& table = tls_table();
+  SpanSlot* slot;
+  {
+    std::lock_guard<std::mutex> lock(table.mu);
+    auto& entry = table.slots[static_cast<const void*>(name)];
+    if (!entry) entry = std::make_unique<SpanSlot>(name);
+    slot = entry.get();
+  }
+  // Owner-thread-only writes: plain load/store keeps min/max CAS-free.
+  slot->count.fetch_add(1, std::memory_order_relaxed);
+  slot->total.fetch_add(ns, std::memory_order_relaxed);
+  if (ns < slot->min.load(std::memory_order_relaxed))
+    slot->min.store(ns, std::memory_order_relaxed);
+  if (ns > slot->max.load(std::memory_order_relaxed))
+    slot->max.store(ns, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+std::vector<std::pair<std::string, SpanStats>> snapshot() {
+  std::map<std::string, SpanStats> merged;
+  TraceRegistry& reg = registry();
+  std::vector<std::shared_ptr<ThreadTable>> tables;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    tables = reg.tables;
+  }
+  for (const auto& table : tables) {
+    std::lock_guard<std::mutex> lock(table->mu);
+    for (const auto& [key, slot] : table->slots) {
+      SpanStats s;
+      s.count = slot->count.load(std::memory_order_relaxed);
+      if (s.count == 0) continue;
+      s.total_ns = slot->total.load(std::memory_order_relaxed);
+      s.min_ns = slot->min.load(std::memory_order_relaxed);
+      s.max_ns = slot->max.load(std::memory_order_relaxed);
+      merged[slot->name].merge(s);
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+SpanStats span_stats(const std::string& name) {
+  for (const auto& [n, stats] : snapshot())
+    if (n == name) return stats;
+  return SpanStats{};
+}
+
+void reset_for_tests() {
+  TraceRegistry& reg = registry();
+  std::vector<std::shared_ptr<ThreadTable>> tables;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    tables = reg.tables;
+  }
+  for (const auto& table : tables) {
+    std::lock_guard<std::mutex> lock(table->mu);
+    for (auto& [key, slot] : table->slots) {
+      slot->count.store(0, std::memory_order_relaxed);
+      slot->total.store(0, std::memory_order_relaxed);
+      slot->min.store(std::numeric_limits<std::uint64_t>::max(),
+                      std::memory_order_relaxed);
+      slot->max.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace nvm::trace

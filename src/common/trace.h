@@ -1,0 +1,100 @@
+// RAII scoped-span profiler with per-thread aggregation.
+//
+//   void solve(...) {
+//     NVM_TRACE_SPAN("xbar/solver/solve");
+//     ...
+//   }
+//
+// Each span records one (count, total/min/max ns) sample into a table
+// owned by the *current thread*, so the hot path is two steady_clock reads
+// plus a handful of relaxed stores — no cross-thread contention, safe
+// under the thread pool. trace::snapshot() merges the per-thread tables by
+// span name at export time (run manifests, end-of-bench reports).
+//
+// Span names follow the metric naming scheme ("layer/component/name") and
+// should be string literals: the per-thread fast path keys on the pointer.
+//
+// Tracing is enabled by default and can be toggled with set_enabled();
+// disabling makes spans record nothing (Span::seconds() still works, so
+// spans double as progress stopwatches). Instrumented code must be
+// bit-identical with tracing on or off — spans only observe time.
+//
+// Consistency note: a thread's stat fields are written individually
+// (relaxed); a snapshot taken while spans are closing may be momentarily
+// inconsistent by one in-flight span. Export at run boundaries.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvm::trace {
+
+/// Aggregated statistics for one span name.
+struct SpanStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;  ///< 0 when count == 0
+  std::uint64_t max_ns = 0;
+
+  void merge(const SpanStats& other);
+};
+
+/// Globally enables/disables span recording (default: enabled).
+void set_enabled(bool on);
+bool enabled();
+
+namespace detail {
+/// Records one closed span of `ns` nanoseconds under `name` (keyed by the
+/// literal's pointer on the fast path, merged by content at snapshot).
+void record(const char* name, std::uint64_t ns);
+}  // namespace detail
+
+/// RAII span: measures construction -> destruction.
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(name), start_(std::chrono::steady_clock::now()) {}
+  ~Span() {
+    if (enabled())
+      detail::record(
+          name_,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count()));
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Seconds since construction — progress reporting, independent of
+  /// enabled() (this is the Stopwatch replacement for timed log lines).
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// All span stats, merged across every thread that ever recorded one,
+/// sorted by name. Stats survive thread exit.
+std::vector<std::pair<std::string, SpanStats>> snapshot();
+
+/// Stats for one span name (zero stats if never recorded).
+SpanStats span_stats(const std::string& name);
+
+/// Zeroes every span table (tests only).
+void reset_for_tests();
+
+}  // namespace nvm::trace
+
+#define NVM_TRACE_CONCAT2(a, b) a##b
+#define NVM_TRACE_CONCAT(a, b) NVM_TRACE_CONCAT2(a, b)
+/// Opens a scoped span named `name` (a string literal) until end of scope.
+#define NVM_TRACE_SPAN(name) \
+  ::nvm::trace::Span NVM_TRACE_CONCAT(nvm_trace_span_, __LINE__)(name)

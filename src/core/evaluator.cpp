@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace nvm::core {
 
@@ -11,6 +12,7 @@ ForwardFn plain_forward(nn::Network& net) {
 
 float accuracy(const ForwardFn& fn, std::span<const Tensor> images,
                std::span<const std::int64_t> labels) {
+  NVM_TRACE_SPAN("eval/accuracy");
   NVM_CHECK_EQ(images.size(), labels.size());
   NVM_CHECK_GT(images.size(), 0u);
   std::int64_t correct = 0;
@@ -23,6 +25,7 @@ float accuracy(const ForwardFn& fn, std::span<const Tensor> images,
 float accuracy(std::span<const ForwardFn> replicas,
                std::span<const Tensor> images,
                std::span<const std::int64_t> labels) {
+  NVM_TRACE_SPAN("eval/accuracy");
   NVM_CHECK_EQ(images.size(), labels.size());
   NVM_CHECK_GT(images.size(), 0u);
   NVM_CHECK_GT(replicas.size(), 0u);
@@ -49,6 +52,7 @@ std::vector<Tensor> craft_pgd(attack::AttackModel& attacker,
                               std::span<const Tensor> images,
                               std::span<const std::int64_t> labels,
                               const attack::PgdOptions& opt) {
+  NVM_TRACE_SPAN("eval/craft_pgd");
   NVM_CHECK_EQ(images.size(), labels.size());
   std::vector<Tensor> out;
   out.reserve(images.size());
@@ -64,6 +68,7 @@ std::vector<Tensor> craft_pgd(std::span<attack::AttackModel* const> attackers,
                               std::span<const Tensor> images,
                               std::span<const std::int64_t> labels,
                               const attack::PgdOptions& opt) {
+  NVM_TRACE_SPAN("eval/craft_pgd");
   NVM_CHECK_EQ(images.size(), labels.size());
   NVM_CHECK_GT(attackers.size(), 0u);
   std::vector<Tensor> out(images.size());
@@ -87,6 +92,7 @@ std::vector<Tensor> craft_square(attack::AttackModel& attacker,
                                  std::span<const Tensor> images,
                                  std::span<const std::int64_t> labels,
                                  const attack::SquareOptions& opt) {
+  NVM_TRACE_SPAN("eval/craft_square");
   NVM_CHECK_EQ(images.size(), labels.size());
   std::vector<Tensor> out;
   out.reserve(images.size());
@@ -103,6 +109,7 @@ std::vector<Tensor> craft_square(
     std::span<attack::AttackModel* const> attackers,
     std::span<const Tensor> images, std::span<const std::int64_t> labels,
     const attack::SquareOptions& opt) {
+  NVM_TRACE_SPAN("eval/craft_square");
   NVM_CHECK_EQ(images.size(), labels.size());
   NVM_CHECK_GT(attackers.size(), 0u);
   std::vector<Tensor> out(images.size());

@@ -1,10 +1,20 @@
-// Text report helpers shared by the benchmark harnesses: aligned tables in
-// the style of the paper's Tables III/IV, and figure series as
-// comma-separated rows suitable for replotting.
+// Report helpers shared by the benchmark harnesses and CLI: aligned text
+// tables in the style of the paper's Tables III/IV, figure series as
+// comma-separated rows suitable for replotting, and the machine-readable
+// run manifest (JSON) that carries crossbar config, accuracy results,
+// metric/health deltas, and span timings out of a run. See DESIGN.md §10
+// for the manifest schema.
 #pragma once
 
+#include <cstdint>
+#include <optional>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/metrics.h"
+#include "xbar/config.h"
 
 namespace nvm::core {
 
@@ -31,5 +41,81 @@ std::string fmt(float value);
 /// Prints one figure series: "series_name, p1, p2, ..." after an x-axis
 /// header line. Collect multiple calls under one banner for replotting.
 void print_series(const std::string& name, const std::vector<float>& values);
+
+/// Minimal streaming JSON writer: correct escaping (control characters,
+/// quotes, backslashes), non-finite doubles emitted as null, 2-space
+/// indentation. Misnested begin/end or a key outside an object throws
+/// CheckError.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& k);
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool v);
+  void null();
+
+  /// Escapes `v` as a JSON string literal including the quotes.
+  static std::string escape(const std::string& v);
+
+ private:
+  void before_value();
+
+  std::ostream& os_;
+  /// One entry per open container: true once it holds a member (comma due).
+  std::vector<bool> has_member_;
+  bool key_pending_ = false;
+};
+
+/// Collects one run's worth of observability output and writes it as a
+/// single JSON file. Metric and health baselines are snapshotted at
+/// construction, so the manifest reports *deltas over this run* even when
+/// several runs share a process. Writes on destruction if write() was
+/// never called; write failures log a warning, never throw.
+class RunManifest {
+ public:
+  /// `path` may be empty: the manifest then collects but never writes
+  /// (keeps call sites branch-free).
+  RunManifest(std::string run_name, std::string path);
+  ~RunManifest();
+  RunManifest(RunManifest&& other) noexcept;
+  RunManifest& operator=(RunManifest&&) = delete;
+  RunManifest(const RunManifest&) = delete;
+  RunManifest& operator=(const RunManifest&) = delete;
+
+  /// Resolves the output path from `flag_path` (the --metrics-out flag,
+  /// wins when non-empty) or the NVM_METRICS_OUT environment variable;
+  /// the returned manifest is inert when neither is set.
+  static RunManifest from_env(std::string run_name,
+                              const std::string& flag_path = "");
+
+  void set_xbar(const xbar::CrossbarConfig& cfg);
+  /// Records one named numeric result (accuracies, NF values, ...).
+  void add_result(const std::string& name, double value);
+  /// Records one free-form annotation (model arch, attack settings, ...).
+  void set_note(const std::string& key, const std::string& value);
+
+  bool active() const { return !path_.empty(); }
+  /// Writes the manifest now (at most once; later calls and the
+  /// destructor become no-ops).
+  void write();
+
+ private:
+  std::string run_name_;
+  std::string path_;
+  bool written_ = false;
+  std::optional<xbar::CrossbarConfig> xbar_;
+  std::vector<std::pair<std::string, double>> results_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+  std::vector<metrics::MetricValue> metrics_base_;
+};
 
 }  // namespace nvm::core

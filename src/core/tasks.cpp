@@ -6,7 +6,8 @@
 #include "common/env.h"
 #include "common/file_cache.h"
 #include "common/logging.h"
-#include "common/stopwatch.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace nvm::core {
 
@@ -124,7 +125,7 @@ std::span<const std::int64_t> PreparedTask::eval_labels(
 }
 
 PreparedTask prepare(const Task& task) {
-  Stopwatch watch;
+  trace::Span watch("core/prepare");
   data::Dataset ds = make_synth_vision(task.data_spec);
   Rng init_rng(task.train_config.seed);
   nn::Network net = task.make_network(init_rng);
@@ -142,6 +143,7 @@ PreparedTask prepare(const Task& task) {
                   << net.param_count() << " params)";
     nn::train(net, ds.train_images, ds.train_labels, task.train_config);
     cache_store(file, tag.str(), [&](BinaryWriter& w) { net.save(w); });
+    metrics::gauge("core/train_seconds").set(watch.seconds());
     NVM_LOG(Info) << task.name << " trained in " << watch.seconds() << "s";
   }
 

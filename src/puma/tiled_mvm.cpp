@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "puma/bit_slicing.h"
 #include "puma/quantize.h"
 
@@ -89,6 +91,9 @@ TiledMatrix::TiledMatrix(const Tensor& w,
       }
     }
   }
+  static metrics::Counter& programmed =
+      metrics::counter("puma/tiled/tiles_programmed");
+  programmed.add(static_cast<std::uint64_t>(programmed_count_));
 }
 
 std::int64_t TiledMatrix::total_tile_slots() const {
@@ -96,6 +101,9 @@ std::int64_t TiledMatrix::total_tile_slots() const {
 }
 
 Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
+  NVM_TRACE_SPAN("puma/tiled/matmul");
+  static metrics::Counter& m_matmuls = metrics::counter("puma/tiled/matmuls");
+  m_matmuls.add();
   NVM_CHECK_EQ(x.rank(), 2u);
   NVM_CHECK_EQ(x.dim(0), k_);
   const std::int64_t n = x.dim(1);
@@ -171,6 +179,8 @@ Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
   // slot-local partial sum.
   const std::int64_t slots = total_tile_slots();
   std::vector<Tensor> partial(static_cast<std::size_t>(slots));
+  static metrics::Counter& m_tile_mvms =
+      metrics::counter("puma/tiled/tile_mvms");
   parallel_for(slots, [&](std::int64_t slot) {
     xbar::ProgrammedXbar* tile = tiles_[static_cast<std::size_t>(slot)].get();
     if (tile == nullptr) return;
@@ -185,9 +195,11 @@ Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
     const float slice_w = chunk_weight(s, hw_.slice_bits);
 
     Tensor acc;
+    std::uint64_t passes = 0;
     for (std::int64_t t = 0; t < streams; ++t) {
       const StreamBlock& sb = dac[static_cast<std::size_t>(ti * streams + t)];
       if (!sb.active) continue;
+      ++passes;
       Tensor currents =
           tile->mvm_batch_active(sb.volts, k_used, m_used);  // (cols, n)
       const float shift =
@@ -203,6 +215,7 @@ Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
         }
       }
     }
+    if (passes != 0) m_tile_mvms.add(passes);
     partial[static_cast<std::size_t>(slot)] = std::move(acc);
   });
 

@@ -7,6 +7,8 @@
 #include "common/check.h"
 #include "common/health.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "xbar/device.h"
 
 namespace nvm::xbar {
@@ -58,6 +60,7 @@ SolverWorkspace& tls_workspace() {
 Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
                    std::span<const double> g, const Tensor& v,
                    SolverWorkspace& ws, SolveStats& stats) {
+  NVM_TRACE_SPAN("xbar/solver/solve");
   const std::int64_t rows = cfg.rows, cols = cfg.cols;
   NVM_CHECK_EQ(v.numel(), rows);
   NVM_CHECK_EQ(g.size(), static_cast<std::size_t>(rows * cols));
@@ -147,6 +150,10 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
     }
   }
   stats.sweeps_used = sweep;
+  static metrics::Counter& m_solves = metrics::counter("solver/solves");
+  static metrics::Counter& m_sweeps = metrics::counter("solver/sweeps");
+  m_solves.add();
+  m_sweeps.add(static_cast<std::uint64_t>(sweep));
   if (!stats.ok()) {
     const std::uint64_t n = bump(HealthCounter::SolverNonConverged);
     if (health_should_log(n))

@@ -6,7 +6,9 @@
 #include "common/file_cache.h"
 #include "common/health.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "tensor/ops.h"
 
 namespace nvm::xbar {
@@ -89,6 +91,7 @@ class GeniexProgrammed final : public ProgrammedXbar {
 
   Tensor mvm_batch_active(const Tensor& vb, std::int64_t rows_used,
                           std::int64_t cols_used) override {
+    NVM_TRACE_SPAN("xbar/geniex/mvm_batch");
     NVM_CHECK_EQ(vb.rank(), 2u);
     NVM_CHECK_EQ(vb.dim(0), cfg_.rows);
     NVM_CHECK(rows_used >= 1 && rows_used <= cfg_.rows);
@@ -209,6 +212,8 @@ class GeniexProgrammed final : public ProgrammedXbar {
     }
     if (any_fallback) degrade_to_fallback(vb, out_of_envelope, cols_used, out);
     guard_output_finite(out, "geniex");
+    static metrics::Counter& preds = metrics::counter("xbar/geniex/predictions");
+    preds.add(static_cast<std::uint64_t>(cols_used * n));
     return out;
   }
 
@@ -350,6 +355,7 @@ GeniexModel::GeniexModel(CrossbarConfig cfg, MlpRegressor mlp,
 
 GeniexFit GeniexModel::fit(const CrossbarConfig& cfg,
                            const GeniexTrainOptions& opt) {
+  trace::Span fit_span("xbar/geniex/fit");
   Rng rng(opt.seed);
   const std::int64_t n_samples = opt.solver_samples;
   NVM_CHECK_GT(n_samples, 10);
@@ -399,6 +405,9 @@ GeniexFit GeniexModel::fit(const CrossbarConfig& cfg,
   MlpRegressor mlp(kGeniexFeatureCount, opt.hidden, init_rng);
   const float train_mse = mlp.train(x_train, y_train, opt.mlp);
   const float val_mse = mlp.mse(x_val, y_val);
+  metrics::counter("xbar/geniex/fits").add();
+  metrics::gauge("xbar/geniex/fit_seconds").set(fit_span.seconds());
+  metrics::gauge("xbar/geniex/val_mse").set(val_mse);
   NVM_LOG(Info) << "GENIEx " << cfg.name << " train_mse=" << train_mse
                 << " val_mse=" << val_mse;
   return GeniexFit{std::move(mlp), train_mse, val_mse};

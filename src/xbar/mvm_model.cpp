@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/health.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -22,6 +23,8 @@ Tensor ProgrammedXbar::mvm_batch(const Tensor& v_batch) {
   NVM_CHECK_EQ(v_batch.rank(), 2u);
   const std::int64_t rows = v_batch.dim(0), n = v_batch.dim(1);
   if (n == 0) return Tensor();
+  static metrics::Counter& columns = metrics::counter("xbar/mvm_columns");
+  columns.add(static_cast<std::uint64_t>(n));
   const auto eval_column = [&](std::int64_t k, Tensor& out) {
     Tensor v({rows});
     for (std::int64_t i = 0; i < rows; ++i) v[i] = v_batch.at(i, k);
