@@ -13,10 +13,13 @@
 // --metrics-out PATH additionally writes the nvm::metrics run manifest.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "core/report.h"
 #include "puma/tiled_mvm.h"
@@ -85,6 +88,78 @@ void BM_GeniexMvmBatch64(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm_batch(vb));
 }
 BENCHMARK(BM_GeniexMvmBatch64)->Unit(benchmark::kMillisecond);
+
+Tensor bench_vblock(const xbar::CrossbarConfig& cfg, std::int64_t n) {
+  Rng rng(8);
+  Tensor vb({cfg.rows, n});
+  for (auto& x : vb.data())
+    x = rng.bernoulli(0.25) ? 0.0f : static_cast<float>(rng.uniform(0, cfg.v_read));
+  return vb;
+}
+
+// Multi-RHS family: the same 64x64 fast-noise crossbar driven with a block
+// of 1/8/32/128 input vectors, once through the single-vector mvm loop and
+// once through the blocked mvm_multi path. Compare items_per_second between
+// the two at equal block size for the batching speedup.
+// Mirrors each leg's columns/sec into the metrics registry so the
+// --metrics-out run manifest (the committed BENCH_mvm_perf.json) records
+// the batched-vs-looped comparison alongside the warm-start numbers.
+void record_cols_per_sec(const char* leg, std::int64_t block, double items,
+                         double seconds) {
+  if (seconds <= 0.0) return;
+  std::ostringstream name;
+  name << "bench/multi_rhs/" << leg << "_b" << block << "_cols_per_sec";
+  metrics::gauge(name.str()).set(items / seconds);
+}
+
+void BM_FastNoiseMvmLooped(benchmark::State& state) {
+  const auto cfg = bench_cfg(64);
+  xbar::FastNoiseModel model(cfg);
+  auto programmed = model.program(bench_g(cfg));
+  const std::int64_t n = state.range(0);
+  Tensor vb = bench_vblock(cfg, n);
+  Tensor v({cfg.rows});
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    for (std::int64_t k = 0; k < n; ++k) {
+      for (std::int64_t i = 0; i < cfg.rows; ++i) v[i] = vb.at(i, k);
+      benchmark::DoNotOptimize(programmed->mvm(v));
+    }
+  }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  state.SetItemsProcessed(state.iterations() * n);
+  record_cols_per_sec("looped", n,
+                      static_cast<double>(state.iterations() * n), dt.count());
+}
+BENCHMARK(BM_FastNoiseMvmLooped)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FastNoiseMvmMulti(benchmark::State& state) {
+  const auto cfg = bench_cfg(64);
+  xbar::FastNoiseModel model(cfg);
+  auto programmed = model.program(bench_g(cfg));
+  const std::int64_t n = state.range(0);
+  Tensor vb = bench_vblock(cfg, n);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm_multi(vb));
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  state.SetItemsProcessed(state.iterations() * n);
+  record_cols_per_sec("multi", n,
+                      static_cast<double>(state.iterations() * n), dt.count());
+}
+BENCHMARK(BM_FastNoiseMvmMulti)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_IdealMvmMulti(benchmark::State& state) {
+  const auto cfg = bench_cfg(64);
+  xbar::IdealXbarModel model(cfg);
+  auto programmed = model.program(bench_g(cfg));
+  const std::int64_t n = state.range(0);
+  Tensor vb = bench_vblock(cfg, n);
+  for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm_multi(vb));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IdealMvmMulti)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_CircuitSolverMvm(benchmark::State& state) {
   const auto cfg = bench_cfg(state.range(0));
@@ -157,6 +232,41 @@ BENCHMARK(BM_TiledMatmulThreads)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Warm-start A/B: the same circuit-solver tiled matmul with stream
+// warm-starting off (Arg 0, the pre-streaming behavior) and on (Arg 1).
+// sweeps_per_matmul in the JSON is the acceptance number: warm-starting
+// must cut total relaxation sweeps per tiled matmul by >= 20%.
+void BM_SolverTiledMatmulWarmStart(benchmark::State& state) {
+  Rng rng(9);
+  Tensor w = Tensor::normal({16, 16}, 0, 0.1f, rng);
+  Tensor x({16, 8});
+  for (auto& v : x.data())
+    v = rng.bernoulli(0.5) ? 0.0f : static_cast<float>(rng.uniform(0, 1));
+  xbar::SolverOptions opt;
+  opt.warm_start_streams = state.range(0) != 0;
+  auto model = std::make_shared<xbar::CircuitSolverModel>(bench_cfg(16), opt);
+  puma::TiledMatrix tiled(w, model, puma::HwConfig{});
+  metrics::Counter& sweeps = metrics::counter("solver/sweeps");
+  metrics::Counter& solves = metrics::counter("solver/solves");
+  const std::uint64_t s0 = sweeps.value(), n0 = solves.value();
+  for (auto _ : state) benchmark::DoNotOptimize(tiled.matmul(x, 1.0f));
+  const double iters = static_cast<double>(state.iterations());
+  const double sweeps_per = static_cast<double>(sweeps.value() - s0) / iters;
+  state.counters["sweeps_per_matmul"] = sweeps_per;
+  state.counters["solves_per_matmul"] =
+      static_cast<double>(solves.value() - n0) / iters;
+  // Mirror the A/B numbers into the metrics registry so the --metrics-out
+  // run manifest (the committed BENCH_mvm_perf.json) records both.
+  metrics::gauge(opt.warm_start_streams
+                     ? "bench/warm_start/sweeps_per_matmul_warm"
+                     : "bench/warm_start/sweeps_per_matmul_cold")
+      .set(sweeps_per);
+}
+BENCHMARK(BM_SolverTiledMatmulWarmStart)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FloatGemmReference(benchmark::State& state) {
   Rng rng(5);

@@ -14,6 +14,18 @@ cmake --preset release >/dev/null
 cmake --build --preset release -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+# Re-run the suite under each SIMD dispatch tier: the kernel layer promises
+# identical behavior under NVM_SIMD=scalar and (where the host supports it)
+# NVM_SIMD=avx2. Skips the avx2 leg cleanly on non-x86 hosts.
+echo "== tier-1: ctest under NVM_SIMD=scalar =="
+NVM_SIMD=scalar ctest --test-dir build --output-on-failure -j "$JOBS"
+if grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null; then
+  echo "== tier-1: ctest under NVM_SIMD=avx2 =="
+  NVM_SIMD=avx2 ctest --test-dir build --output-on-failure -j "$JOBS"
+else
+  echo "== tier-1: NVM_SIMD=avx2 leg skipped (host has no AVX2) =="
+fi
+
 echo "== tier-1: observability smoke (quickstart manifest) =="
 MANIFEST=/tmp/nvmrobust_check_manifest.json
 rm -f "$MANIFEST"

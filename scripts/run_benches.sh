@@ -30,9 +30,11 @@ run quickstart "$BUILD/examples/nvmrobust_cli" quickstart
 run table1_nf "$BUILD/bench/bench_table1_nf"
 run cost_model "$BUILD/bench/bench_cost_model"
 # Microbenchmarks: restrict to the sub-second MVM set so the script stays
-# fast; drop the filter for the full scaling curves.
+# fast; drop the filter for the full scaling curves. The filter includes
+# the multi-RHS family (looped vs mvm_multi items/sec at block 1/8/32/128)
+# and the solver warm-start A/B (sweeps_per_matmul with streaming off/on).
 run mvm_perf "$BUILD/bench/bench_mvm_perf" \
-  --benchmark_filter='BM_IdealMvm|BM_FastNoiseMvm|BM_TiledMatmul/0' \
+  --benchmark_filter='BM_IdealMvm|BM_FastNoiseMvm|BM_TiledMatmul/0|BM_SolverTiledMatmulWarmStart' \
   --benchmark_min_time=0.05
 
 echo "== bench manifests =="

@@ -22,4 +22,10 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   return static_cast<std::int64_t>(v);
 }
 
+std::string env_str(const std::string& name, const std::string& fallback) {
+  const char* env = std::getenv(name.c_str());
+  if (env == nullptr || *env == '\0') return fallback;
+  return env;
+}
+
 }  // namespace nvm

@@ -19,4 +19,8 @@ std::int64_t scaled(std::int64_t quick, std::int64_t full);
 /// Reads an integer env override, falling back to `fallback`.
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
+/// Reads a string env override, falling back to `fallback` when the
+/// variable is unset or empty.
+std::string env_str(const std::string& name, const std::string& fallback);
+
 }  // namespace nvm

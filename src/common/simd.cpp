@@ -1,0 +1,367 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/simd_kernels.h"
+
+namespace nvm::simd {
+
+// ISA resolution ----------------------------------------------------------
+
+bool avx2_compiled() { return detail::avx2_tu_compiled(); }
+
+bool avx2_supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const char* isa_name(Isa isa) {
+  return isa == Isa::Avx2 ? "avx2" : "scalar";
+}
+
+namespace {
+
+std::atomic<int> g_isa{-1};  // -1 = unresolved
+
+int resolve_isa() {
+  const std::string req = env_str("NVM_SIMD", "");
+  const bool usable = avx2_compiled() && avx2_supported();
+  if (req == "scalar") return 0;
+  if (req == "avx2") {
+    if (usable) return 1;
+    NVM_LOG(Warn) << "NVM_SIMD=avx2 requested but "
+                  << (avx2_compiled() ? "this CPU lacks AVX2/FMA"
+                                      : "AVX2 kernels are not compiled in")
+                  << "; falling back to scalar";
+    return 0;
+  }
+  if (!req.empty())
+    NVM_LOG(Warn) << "unknown NVM_SIMD='" << req
+                  << "' (want avx2|scalar); auto-detecting";
+  return usable ? 1 : 0;
+}
+
+void publish_isa(int isa) {
+  metrics::gauge("simd/isa").set(static_cast<double>(isa));
+}
+
+}  // namespace
+
+Isa active_isa() {
+  int v = g_isa.load(std::memory_order_relaxed);
+  if (v < 0) {
+    // resolve_isa() is pure, so a lost race just recomputes the same value.
+    const int resolved = resolve_isa();
+    int expected = -1;
+    g_isa.compare_exchange_strong(expected, resolved,
+                                  std::memory_order_relaxed);
+    v = g_isa.load(std::memory_order_relaxed);
+    publish_isa(v);
+  }
+  return static_cast<Isa>(v);
+}
+
+ScopedIsaForTests::ScopedIsaForTests(Isa isa) {
+  NVM_CHECK(isa != Isa::Avx2 || (avx2_compiled() && avx2_supported()),
+            "cannot force avx2: "
+                << (avx2_compiled() ? "CPU lacks AVX2/FMA" : "not compiled in"));
+  prev_ = g_isa.exchange(static_cast<int>(isa), std::memory_order_relaxed);
+  publish_isa(static_cast<int>(isa));
+}
+
+ScopedIsaForTests::~ScopedIsaForTests() {
+  g_isa.store(prev_, std::memory_order_relaxed);
+  if (prev_ >= 0) publish_isa(prev_);
+}
+
+// Scalar kernels ----------------------------------------------------------
+// These define the reference semantics; the AVX2 TU mirrors them. Plain
+// mul+add throughout (the build uses -ffp-contract=off, so the compiler
+// cannot fuse these into FMAs behind our back).
+
+namespace detail {
+
+float dot_scalar(const float* a, const float* b, std::int64_t n) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  for (std::int64_t i = 0; i < n; ++i) lanes[i & 7] += a[i] * b[i];
+  return ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6])) +
+         ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+}
+
+void axpy_scalar(float* y, const float* x, float alpha, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void madd_scalar(float* y, const float* x, float alpha, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float t = alpha * x[i];
+    y[i] = y[i] + t;
+  }
+}
+
+void scale_scalar(float* y, const float* x, float alpha, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = alpha * x[i];
+}
+
+void tanh_block_scalar(float* x, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] = tanh_fast(x[i]);
+}
+
+void gemm_scalar(float* c, const float* a, const float* b, std::int64_t m,
+                 std::int64_t n, std::int64_t k, std::int64_t lda,
+                 std::int64_t ldb, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* crow = c + i * ldc;
+    const float* arow = a + i * lda;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;  // bit-sliced operands are mostly zero
+      const float* brow = b + kk * ldb;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm_at_scalar(float* c, const float* a, const float* b, std::int64_t m,
+                    std::int64_t n, std::int64_t k, std::int64_t lda,
+                    std::int64_t ldb, std::int64_t ldc) {
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * lda;
+    const float* brow = b + kk * ldb;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void gemm_bt_scalar(float* c, const float* a, const float* b, std::int64_t m,
+                    std::int64_t n, std::int64_t k, std::int64_t lda,
+                    std::int64_t ldb, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j)
+      crow[j] += dot_scalar(arow, b + j * ldb, k);
+  }
+}
+
+void gemm_f64acc_scalar(float* out, const float* a, const float* v,
+                        std::int64_t m, std::int64_t n, std::int64_t k,
+                        std::int64_t lda, std::int64_t ldv, std::int64_t ldo) {
+  // Column blocks of 8 keep the V accesses contiguous per k-step; each
+  // output element still accumulates sequentially over k in double, so the
+  // result is independent of the blocking.
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    for (std::int64_t j0 = 0; j0 < n; j0 += 8) {
+      const std::int64_t jn = std::min<std::int64_t>(8, n - j0);
+      double acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const double av = static_cast<double>(arow[kk]);
+        const float* vrow = v + kk * ldv + j0;
+        for (std::int64_t j = 0; j < jn; ++j)
+          acc[j] += av * static_cast<double>(vrow[j]);
+      }
+      float* orow = out + i * ldo + j0;
+      for (std::int64_t j = 0; j < jn; ++j)
+        orow[j] = static_cast<float>(acc[j]);
+    }
+  }
+}
+
+void quantize_affine_scalar(float* out, const float* x, std::int64_t n,
+                            float scale, float qmax) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float clipped = std::clamp(x[i], 0.0f, scale);
+    out[i] = std::round(clipped / scale * qmax);
+  }
+}
+
+void adc_shift_add_scalar(float* acc, const float* cur, const float* baseline,
+                          std::int64_t n, float full_scale, float steps,
+                          float shift) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float clamped = std::clamp(cur[i], 0.0f, full_scale);
+    const float q = std::round(clamped / full_scale * steps) * full_scale /
+                    steps;
+    acc[i] += shift * (q - baseline[i]);
+  }
+}
+
+}  // namespace detail
+
+float tanh_fast(float x) {
+  if (x > 4.97f) return 1.0f;
+  if (x < -4.97f) return -1.0f;
+  const float x2 = x * x;
+  const float p = x * (135135.0f + x2 * (17325.0f + x2 * (378.0f + x2)));
+  const float q = 135135.0f + x2 * (62370.0f + x2 * (3150.0f + x2 * 28.0f));
+  return p / q;
+}
+
+// Public dispatch ---------------------------------------------------------
+
+namespace {
+
+/// One call + flop tally; call-site counters are cached by the wrappers.
+inline void tally(metrics::Counter& calls, std::uint64_t flops) {
+  static metrics::Counter& f = metrics::counter("simd/flops");
+  calls.add();
+  f.add(flops);
+}
+
+inline std::uint64_t u64(std::int64_t v) {
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+float dot(const float* a, const float* b, std::int64_t n) {
+  static metrics::Counter& c = metrics::counter("simd/kernel/dot");
+  tally(c, 2 * u64(n));
+  return active_isa() == Isa::Avx2 ? detail::dot_avx2(a, b, n)
+                                   : detail::dot_scalar(a, b, n);
+}
+
+void axpy(float* y, const float* x, float alpha, std::int64_t n) {
+  static metrics::Counter& c = metrics::counter("simd/kernel/axpy");
+  tally(c, 2 * u64(n));
+  if (active_isa() == Isa::Avx2)
+    detail::axpy_avx2(y, x, alpha, n);
+  else
+    detail::axpy_scalar(y, x, alpha, n);
+}
+
+void madd(float* y, const float* x, float alpha, std::int64_t n) {
+  static metrics::Counter& c = metrics::counter("simd/kernel/madd");
+  tally(c, 2 * u64(n));
+  if (active_isa() == Isa::Avx2)
+    detail::madd_avx2(y, x, alpha, n);
+  else
+    detail::madd_scalar(y, x, alpha, n);
+}
+
+void scale(float* y, const float* x, float alpha, std::int64_t n) {
+  static metrics::Counter& c = metrics::counter("simd/kernel/scale");
+  tally(c, u64(n));
+  if (active_isa() == Isa::Avx2)
+    detail::scale_avx2(y, x, alpha, n);
+  else
+    detail::scale_scalar(y, x, alpha, n);
+}
+
+void tanh_block(float* x, std::int64_t n) {
+  static metrics::Counter& c = metrics::counter("simd/kernel/tanh_block");
+  tally(c, 12 * u64(n));  // ~12 arithmetic ops per rational tanh
+  if (active_isa() == Isa::Avx2)
+    detail::tanh_block_avx2(x, n);
+  else
+    detail::tanh_block_scalar(x, n);
+}
+
+void gemm_accum(float* c, const float* a, const float* b, std::int64_t m,
+                std::int64_t n, std::int64_t k, std::int64_t lda,
+                std::int64_t ldb, std::int64_t ldc) {
+  static metrics::Counter& calls = metrics::counter("simd/kernel/gemm");
+  tally(calls, 2 * u64(m) * u64(n) * u64(k));
+  if (active_isa() == Isa::Avx2)
+    detail::gemm_avx2(c, a, b, m, n, k, lda, ldb, ldc);
+  else
+    detail::gemm_scalar(c, a, b, m, n, k, lda, ldb, ldc);
+}
+
+void gemm_at_accum(float* c, const float* a, const float* b, std::int64_t m,
+                   std::int64_t n, std::int64_t k, std::int64_t lda,
+                   std::int64_t ldb, std::int64_t ldc) {
+  static metrics::Counter& calls = metrics::counter("simd/kernel/gemm_at");
+  tally(calls, 2 * u64(m) * u64(n) * u64(k));
+  if (active_isa() == Isa::Avx2)
+    detail::gemm_at_avx2(c, a, b, m, n, k, lda, ldb, ldc);
+  else
+    detail::gemm_at_scalar(c, a, b, m, n, k, lda, ldb, ldc);
+}
+
+void gemm_bt_accum(float* c, const float* a, const float* b, std::int64_t m,
+                   std::int64_t n, std::int64_t k, std::int64_t lda,
+                   std::int64_t ldb, std::int64_t ldc) {
+  static metrics::Counter& calls = metrics::counter("simd/kernel/gemm_bt");
+  tally(calls, 2 * u64(m) * u64(n) * u64(k));
+  if (active_isa() == Isa::Avx2)
+    detail::gemm_bt_avx2(c, a, b, m, n, k, lda, ldb, ldc);
+  else
+    detail::gemm_bt_scalar(c, a, b, m, n, k, lda, ldb, ldc);
+}
+
+void gemm_f64acc(float* out, const float* a, const float* v, std::int64_t m,
+                 std::int64_t n, std::int64_t k, std::int64_t lda,
+                 std::int64_t ldv, std::int64_t ldo) {
+  static metrics::Counter& calls = metrics::counter("simd/kernel/gemm_f64acc");
+  tally(calls, 2 * u64(m) * u64(n) * u64(k));
+  if (active_isa() == Isa::Avx2)
+    detail::gemm_f64acc_avx2(out, a, v, m, n, k, lda, ldv, ldo);
+  else
+    detail::gemm_f64acc_scalar(out, a, v, m, n, k, lda, ldv, ldo);
+}
+
+void quantize_affine(float* out, const float* x, std::int64_t n, float scale,
+                     float qmax) {
+  static metrics::Counter& c = metrics::counter("simd/kernel/quantize");
+  tally(c, 4 * u64(n));
+  if (active_isa() == Isa::Avx2)
+    detail::quantize_affine_avx2(out, x, n, scale, qmax);
+  else
+    detail::quantize_affine_scalar(out, x, n, scale, qmax);
+}
+
+void adc_shift_add(float* acc, const float* cur, const float* baseline,
+                   std::int64_t n, float full_scale, float steps,
+                   float shift) {
+  static metrics::Counter& c = metrics::counter("simd/kernel/adc_shift_add");
+  tally(c, 8 * u64(n));
+  if (active_isa() == Isa::Avx2)
+    detail::adc_shift_add_avx2(acc, cur, baseline, n, full_scale, steps,
+                               shift);
+  else
+    detail::adc_shift_add_scalar(acc, cur, baseline, n, full_scale, steps,
+                                 shift);
+}
+
+// Workspace ---------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+std::span<T> acquire(std::vector<T>& buf, std::size_t n) {
+  static metrics::Counter& reuses = metrics::counter("simd/workspace/reuses");
+  if (buf.size() >= n)
+    reuses.add();
+  else
+    buf.resize(n);
+  return {buf.data(), n};
+}
+
+}  // namespace
+
+std::span<float> Workspace::floats(int slot, std::size_t n) {
+  NVM_CHECK(slot >= 0 && slot < kSlots, "workspace slot=" << slot);
+  return acquire(f_[slot], n);
+}
+
+std::span<double> Workspace::doubles(int slot, std::size_t n) {
+  NVM_CHECK(slot >= 0 && slot < kSlots, "workspace slot=" << slot);
+  return acquire(d_[slot], n);
+}
+
+}  // namespace nvm::simd

@@ -1,0 +1,154 @@
+// Portable SIMD micro-kernel layer.
+//
+// Every hot inner loop of the analog stack — tiled-GEMM shift-add, ideal
+// and fast-noise column evaluation, the GENIEx MLP forward, activation /
+// ADC quantization — runs over the fixed set of kernels below. Two
+// implementations exist per kernel: a hand-written AVX2/FMA one (compiled
+// in its own translation unit with per-file arch flags, see
+// NVM_ENABLE_AVX2) and a scalar fallback. The active one is chosen once
+// per process at first use: cpuid decides, and NVM_SIMD=avx2|scalar
+// overrides.
+//
+// Determinism contract (DESIGN.md §11):
+//   * Each kernel uses ONE deterministic accumulation tree. Results are
+//     bit-identical across NVM_THREADS, across repeated runs of the same
+//     build, and across calls with different blocking of the same data.
+//   * Kernels marked [exact] below produce bit-identical results under
+//     NVM_SIMD=scalar and =avx2: every lane performs the same float ops in
+//     the same order as the scalar code (the whole build uses
+//     -ffp-contract=off so the compiler cannot fuse the scalar side).
+//   * Kernels marked [~ulp] use FMA on AVX2 but plain mul+add in the
+//     scalar fallback; per element they differ by at most a few ULP of the
+//     running magnitude (tests/test_simd.cpp asserts the bound).
+//
+// Reduction trees:
+//   * dot: 8 strided lanes (lane l accumulates elements l, l+8, ...)
+//     reduced as ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+//   * gemm*: per output element, sequential accumulation over k (the
+//     microtile blocks rows/columns, never the reduction).
+//   * gemm_f64acc: sequential double accumulation over the inner index —
+//     bit-identical to nvm::matvec's scalar loop per output element.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nvm::simd {
+
+enum class Isa { Scalar = 0, Avx2 = 1 };
+
+/// The instruction set all kernels dispatch to. Resolved once: NVM_SIMD
+/// env override if set (an unusable request logs a warning and falls
+/// back), else AVX2 when both compiled in and supported by this CPU.
+Isa active_isa();
+const char* isa_name(Isa isa);
+
+/// True when the AVX2 kernel TU was compiled in (NVM_ENABLE_AVX2).
+bool avx2_compiled();
+/// True when this CPU supports AVX2+FMA.
+bool avx2_supported();
+
+/// Test-only: forces the dispatch while alive (restores on destruction).
+/// Requesting Avx2 on a scalar-only build/CPU throws CheckError.
+class ScopedIsaForTests {
+ public:
+  explicit ScopedIsaForTests(Isa isa);
+  ~ScopedIsaForTests();
+  ScopedIsaForTests(const ScopedIsaForTests&) = delete;
+  ScopedIsaForTests& operator=(const ScopedIsaForTests&) = delete;
+
+ private:
+  int prev_;
+};
+
+// Vector kernels ----------------------------------------------------------
+
+/// [~ulp] Dot product with the fixed 8-lane reduction tree.
+float dot(const float* a, const float* b, std::int64_t n);
+
+/// [~ulp] y[i] += alpha * x[i] (fused on AVX2).
+void axpy(float* y, const float* x, float alpha, std::int64_t n);
+
+/// [exact] y[i] += alpha * x[i] with an UNfused multiply-add — matches
+/// legacy scalar accumulation loops bit-for-bit (GENIEx MLP forward).
+void madd(float* y, const float* x, float alpha, std::int64_t n);
+
+/// [exact] y[i] = alpha * x[i].
+void scale(float* y, const float* x, float alpha, std::int64_t n);
+
+/// [exact] In-place rational fast-tanh (same polynomial as
+/// xbar::fast_tanh, which forwards to tanh_fast below).
+void tanh_block(float* x, std::int64_t n);
+/// Scalar fast-tanh; max abs error vs std::tanh ~2e-3.
+float tanh_fast(float x);
+
+// GEMM micro-kernels ------------------------------------------------------
+// All operate on row-major storage with explicit leading dimensions and
+// ACCUMULATE into C (callers zero C for a plain product). The AVX2
+// implementation blocks into 4x8 microtiles of broadcast-FMA.
+
+/// [~ulp] C(m x n, ldc) += A(m x k, lda) * B(k x n, ldb).
+void gemm_accum(float* c, const float* a, const float* b, std::int64_t m,
+                std::int64_t n, std::int64_t k, std::int64_t lda,
+                std::int64_t ldb, std::int64_t ldc);
+
+/// [~ulp] C(m x n, ldc) += A^T * B where A is (k x m, lda).
+void gemm_at_accum(float* c, const float* a, const float* b, std::int64_t m,
+                   std::int64_t n, std::int64_t k, std::int64_t lda,
+                   std::int64_t ldb, std::int64_t ldc);
+
+/// [~ulp] C(m x n, ldc) += A * B^T where B is (n x k, ldb); each element
+/// is one dot() reduction tree.
+void gemm_bt_accum(float* c, const float* a, const float* b, std::int64_t m,
+                   std::int64_t n, std::int64_t k, std::int64_t lda,
+                   std::int64_t ldb, std::int64_t ldc);
+
+/// [exact] out(m x n, ldo) = A(m x k, lda) * V(k x n, ldv) accumulated in
+/// double per output element, sequential over k — bit-identical to the
+/// scalar loop `for k: acc += double(a) * v;` and therefore to
+/// nvm::matvec per column. The analog models use this so crossbar outputs
+/// do not depend on NVM_SIMD.
+void gemm_f64acc(float* out, const float* a, const float* v, std::int64_t m,
+                 std::int64_t n, std::int64_t k, std::int64_t lda,
+                 std::int64_t ldv, std::int64_t ldo);
+
+// Quantize / clamp kernels ------------------------------------------------
+
+/// [exact] out[i] = round(clamp(x[i], 0, scale) / scale * qmax), with
+/// round-half-away-from-zero semantics identical to std::round for the
+/// non-negative domain (puma::quantize_activations).
+void quantize_affine(float* out, const float* x, std::int64_t n, float scale,
+                     float qmax);
+
+/// [exact] acc[i] += shift * (adc(cur[i]) - baseline[i]) where adc() is
+/// the mid-tread ADC quantizer round(clamp(c,0,fs)/fs*steps)*fs/steps —
+/// the fused ADC + baseline-subtract + shift-add of the tiled GEMM.
+void adc_shift_add(float* acc, const float* cur, const float* baseline,
+                   std::int64_t n, float full_scale, float steps, float shift);
+
+// Workspace ---------------------------------------------------------------
+
+/// Reusable per-thread scratch for hot paths that would otherwise heap-
+/// allocate per call. Each slot is an independent buffer with a stable
+/// address across other slots' acquisitions; re-acquiring a slot
+/// invalidates its previous span. An acquisition served without growing
+/// the buffer counts one `simd/workspace/reuses` (a saved allocation).
+/// Not thread-safe: declare instances as function-local thread_local.
+class Workspace {
+ public:
+  static constexpr int kSlots = 12;
+
+  /// Returns a span of `n` floats backed by slot `slot`. Contents are
+  /// unspecified (callers fully overwrite before reading).
+  std::span<float> floats(int slot, std::size_t n);
+  /// Same, for doubles (slots are independent of the float slots).
+  std::span<double> doubles(int slot, std::size_t n);
+
+ private:
+  std::vector<float> f_[kSlots];
+  std::vector<double> d_[kSlots];
+};
+
+}  // namespace nvm::simd

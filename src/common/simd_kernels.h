@@ -1,0 +1,73 @@
+// Internal: per-ISA kernel variants behind nvm::simd's public dispatch.
+//
+// The _scalar variants live in simd.cpp (baseline compile flags); the
+// _avx2 variants live in simd_avx2.cpp, the only TU built with
+// -mavx2 -mfma (and only when NVM_ENABLE_AVX2 is on — otherwise that TU
+// provides throwing stubs that the dispatcher never reaches). Do not call
+// these directly outside simd.cpp: the public wrappers own metrics and
+// ISA selection.
+#pragma once
+
+#include <cstdint>
+
+namespace nvm::simd::detail {
+
+/// True when simd_avx2.cpp was built with real AVX2 kernels.
+bool avx2_tu_compiled();
+
+float dot_scalar(const float* a, const float* b, std::int64_t n);
+float dot_avx2(const float* a, const float* b, std::int64_t n);
+
+void axpy_scalar(float* y, const float* x, float alpha, std::int64_t n);
+void axpy_avx2(float* y, const float* x, float alpha, std::int64_t n);
+
+void madd_scalar(float* y, const float* x, float alpha, std::int64_t n);
+void madd_avx2(float* y, const float* x, float alpha, std::int64_t n);
+
+void scale_scalar(float* y, const float* x, float alpha, std::int64_t n);
+void scale_avx2(float* y, const float* x, float alpha, std::int64_t n);
+
+void tanh_block_scalar(float* x, std::int64_t n);
+void tanh_block_avx2(float* x, std::int64_t n);
+
+void gemm_scalar(float* c, const float* a, const float* b, std::int64_t m,
+                 std::int64_t n, std::int64_t k, std::int64_t lda,
+                 std::int64_t ldb, std::int64_t ldc);
+void gemm_avx2(float* c, const float* a, const float* b, std::int64_t m,
+               std::int64_t n, std::int64_t k, std::int64_t lda,
+               std::int64_t ldb, std::int64_t ldc);
+
+void gemm_at_scalar(float* c, const float* a, const float* b, std::int64_t m,
+                    std::int64_t n, std::int64_t k, std::int64_t lda,
+                    std::int64_t ldb, std::int64_t ldc);
+void gemm_at_avx2(float* c, const float* a, const float* b, std::int64_t m,
+                  std::int64_t n, std::int64_t k, std::int64_t lda,
+                  std::int64_t ldb, std::int64_t ldc);
+
+void gemm_bt_scalar(float* c, const float* a, const float* b, std::int64_t m,
+                    std::int64_t n, std::int64_t k, std::int64_t lda,
+                    std::int64_t ldb, std::int64_t ldc);
+void gemm_bt_avx2(float* c, const float* a, const float* b, std::int64_t m,
+                  std::int64_t n, std::int64_t k, std::int64_t lda,
+                  std::int64_t ldb, std::int64_t ldc);
+
+void gemm_f64acc_scalar(float* out, const float* a, const float* v,
+                        std::int64_t m, std::int64_t n, std::int64_t k,
+                        std::int64_t lda, std::int64_t ldv, std::int64_t ldo);
+void gemm_f64acc_avx2(float* out, const float* a, const float* v,
+                      std::int64_t m, std::int64_t n, std::int64_t k,
+                      std::int64_t lda, std::int64_t ldv, std::int64_t ldo);
+
+void quantize_affine_scalar(float* out, const float* x, std::int64_t n,
+                            float scale, float qmax);
+void quantize_affine_avx2(float* out, const float* x, std::int64_t n,
+                          float scale, float qmax);
+
+void adc_shift_add_scalar(float* acc, const float* cur, const float* baseline,
+                          std::int64_t n, float full_scale, float steps,
+                          float shift);
+void adc_shift_add_avx2(float* acc, const float* cur, const float* baseline,
+                        std::int64_t n, float full_scale, float steps,
+                        float shift);
+
+}  // namespace nvm::simd::detail

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace nvm::nn {
 
@@ -39,9 +40,13 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   NVM_CHECK(cached_cols_.numel() > 0, "backward before forward");
   Tensor g = grad_out.reshaped({out_c_, geom_.out_h() * geom_.out_w()});
   // dW = g * cols^T  (ideal arithmetic regardless of forward engine).
-  weight_.grad += matmul(g, transpose2d(cached_cols_));
+  // The transposed-B kernel reads cols row-wise, so no transpose2d copy
+  // of the (large) im2col matrix is materialized; same for W^T below.
+  simd::gemm_bt_accum(weight_.grad.raw(), g.raw(), cached_cols_.raw(),
+                      g.dim(0), cached_cols_.dim(0), g.dim(1), g.dim(1),
+                      cached_cols_.dim(1), cached_cols_.dim(0));
   // dX = fold(W^T * g).
-  Tensor dcols = matmul(transpose2d(weight_.value), g);
+  Tensor dcols = matmul_at(weight_.value, g);
   return col2im(dcols, geom_);
 }
 

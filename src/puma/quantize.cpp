@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace nvm::puma {
 
@@ -27,12 +28,8 @@ Tensor quantize_activations(const Tensor& x, float scale, std::int64_t bits) {
   NVM_CHECK_GT(scale, 0.0f);
   const float qmax = static_cast<float>((std::int64_t{1} << bits) - 1);
   Tensor out(x.shape());
-  auto src = x.data();
-  auto dst = out.data();
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const float clipped = std::clamp(src[i], 0.0f, scale);
-    dst[i] = std::round(clipped / scale * qmax);
-  }
+  simd::quantize_affine(out.raw(), x.raw(), static_cast<std::int64_t>(x.numel()),
+                        scale, qmax);
   return out;
 }
 

@@ -1,11 +1,15 @@
 #include "puma/tiled_mvm.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+#include <span>
 #include <sstream>
 #include <vector>
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "puma/bit_slicing.h"
@@ -128,6 +132,12 @@ Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
   const float g_off = static_cast<float>(cfg.g_off());
   const float i_scale = static_cast<float>(cfg.i_scale());
   const float dot_unit = v_unit * g_unit;  // amps per integer dot count
+  // adc_quantize's precondition, hoisted out of the fused per-row kernel.
+  NVM_CHECK(hw_.adc_bits >= 2 && hw_.adc_bits <= 16,
+            "adc_bits out of range: " << hw_.adc_bits);
+  NVM_CHECK_GT(i_scale, 0.0f);
+  const float adc_steps =
+      static_cast<float>((std::int64_t{1} << hw_.adc_bits) - 1);
 
   // The GEMM runs in three phases on the thread pool. Results are
   // bit-identical for any NVM_THREADS because every parallel unit owns
@@ -147,29 +157,36 @@ Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
     const std::int64_t k1 = std::min(k_, k0 + cfg.rows);
     const std::int64_t k_used = k1 - k0;
 
-    // Zero-padded integer input block for this row tile.
-    Tensor xblock({cfg.rows, n});
+    // Zero-padded integer input block and chunk scratch live in reused
+    // per-thread workspace; only the voltage blocks that outlive this
+    // phase (sb.volts) are allocated.
+    thread_local simd::Workspace ws;
+    const std::size_t cells = static_cast<std::size_t>(cfg.rows * n);
+    std::span<float> xblock = ws.floats(0, cells);
+    std::span<float> chunk = ws.floats(1, cells);
     for (std::int64_t kk = 0; kk < k_used; ++kk) {
       const float* src = xq.raw() + (k0 + kk) * n;
-      float* dst = xblock.raw() + kk * n;
-      for (std::int64_t nn = 0; nn < n; ++nn) dst[nn] = src[nn];
+      std::copy(src, src + n, xblock.data() + kk * n);
     }
+    std::fill(xblock.begin() + static_cast<std::ptrdiff_t>(k_used * n),
+              xblock.end(), 0.0f);
 
     for (std::int64_t t = 0; t < streams; ++t) {
-      Tensor chunk = extract_chunk(xblock, t, hw_.stream_bits);
-      if (hw_.skip_zero_tiles && chunk.abs_max() == 0.0f) continue;
+      const float cmax = extract_chunk_into(xblock, t, hw_.stream_bits, chunk);
+      if (hw_.skip_zero_tiles && cmax == 0.0f) continue;
       StreamBlock& sb = dac[static_cast<std::size_t>(ti * streams + t)];
       sb.active = true;
       sb.baseline.assign(static_cast<std::size_t>(n), 0.0f);
       for (std::int64_t kk = 0; kk < k_used; ++kk) {
-        const float* src = chunk.raw() + kk * n;
+        const float* src = chunk.data() + kk * n;
         for (std::int64_t nn = 0; nn < n; ++nn)
           sb.baseline[static_cast<std::size_t>(nn)] += src[nn];
       }
       for (std::int64_t nn = 0; nn < n; ++nn)
         sb.baseline[static_cast<std::size_t>(nn)] *= g_off * v_unit;
-      chunk *= v_unit;  // integer chunk -> DAC voltages
-      sb.volts = std::move(chunk);
+      sb.volts = Tensor({cfg.rows, n});  // integer chunk -> DAC voltages
+      simd::scale(sb.volts.raw(), chunk.data(), v_unit,
+                  static_cast<std::int64_t>(cells));
     }
   });
 
@@ -194,6 +211,9 @@ Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
     const float sign = (pol == 0) ? 1.0f : -1.0f;
     const float slice_w = chunk_weight(s, hw_.slice_bits);
 
+    // One stream per tile visit: chunk t+1 reuses state chunk t left behind
+    // (e.g. the circuit solver's converged node voltages as a warm start).
+    std::unique_ptr<xbar::XbarStream> stream = tile->open_stream();
     Tensor acc;
     std::uint64_t passes = 0;
     for (std::int64_t t = 0; t < streams; ++t) {
@@ -201,19 +221,13 @@ Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
       if (!sb.active) continue;
       ++passes;
       Tensor currents =
-          tile->mvm_batch_active(sb.volts, k_used, m_used);  // (cols, n)
+          stream->mvm_multi_active(sb.volts, k_used, m_used);  // (cols, n)
       const float shift =
           sign * chunk_weight(t, hw_.stream_bits) * slice_w / dot_unit;
       if (acc.numel() == 0) acc = Tensor({m_used, n});
-      for (std::int64_t mm = 0; mm < m_used; ++mm) {
-        const float* cur = currents.raw() + mm * n;
-        float* out = acc.raw() + mm * n;
-        for (std::int64_t nn = 0; nn < n; ++nn) {
-          const float i_adc = adc_quantize(cur[nn], i_scale, hw_.adc_bits);
-          out[nn] +=
-              shift * (i_adc - sb.baseline[static_cast<std::size_t>(nn)]);
-        }
-      }
+      for (std::int64_t mm = 0; mm < m_used; ++mm)
+        simd::adc_shift_add(acc.raw() + mm * n, currents.raw() + mm * n,
+                            sb.baseline.data(), n, i_scale, adc_steps, shift);
     }
     if (passes != 0) m_tile_mvms.add(passes);
     partial[static_cast<std::size_t>(slot)] = std::move(acc);

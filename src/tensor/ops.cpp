@@ -1,6 +1,7 @@
 #include "tensor/ops.h"
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace nvm {
 
@@ -10,19 +11,27 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   NVM_CHECK_EQ(k, b.dim(0));
   Tensor c({m, n});
-  const float* pa = a.raw();
-  const float* pb = b.raw();
-  float* pc = c.raw();
-  // ikj loop order: the inner loop streams both B and C rows.
-  for (std::int64_t i = 0; i < m; ++i) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  simd::gemm_accum(c.raw(), a.raw(), b.raw(), m, n, k, k, n, n);
+  return c;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  NVM_CHECK_EQ(a.rank(), 2u);
+  NVM_CHECK_EQ(b.rank(), 2u);
+  const std::int64_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  NVM_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  simd::gemm_at_accum(c.raw(), a.raw(), b.raw(), m, n, k, m, n, n);
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  NVM_CHECK_EQ(a.rank(), 2u);
+  NVM_CHECK_EQ(b.rank(), 2u);
+  const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  NVM_CHECK_EQ(k, b.dim(1));
+  Tensor c({m, n});
+  simd::gemm_bt_accum(c.raw(), a.raw(), b.raw(), m, n, k, k, k, n);
   return c;
 }
 
@@ -32,14 +41,7 @@ Tensor matvec(const Tensor& a, const Tensor& x) {
   const std::int64_t m = a.dim(0), k = a.dim(1);
   NVM_CHECK_EQ(k, x.dim(0));
   Tensor y({m});
-  const float* pa = a.raw();
-  const float* px = x.raw();
-  for (std::int64_t i = 0; i < m; ++i) {
-    double acc = 0.0;
-    const float* row = pa + i * k;
-    for (std::int64_t j = 0; j < k; ++j) acc += double(row[j]) * px[j];
-    y[i] = static_cast<float>(acc);
-  }
+  simd::gemm_f64acc(y.raw(), a.raw(), x.raw(), m, 1, k, k, 1, 1);
   return y;
 }
 

@@ -15,6 +15,14 @@ namespace nvm {
 /// C = A(MxK) * B(KxN). Shapes are validated.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
+/// C = A^T * B for A(KxM), B(KxN) — reads A transposed in place, no
+/// materialized transpose2d copy (conv backward-to-input).
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T for A(MxK), B(NxK) — each output element is a dot of two
+/// contiguous rows (conv weight gradient against im2col columns).
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+
 /// y = A(MxK) * x(K). Returns a 1-d tensor of length M.
 Tensor matvec(const Tensor& a, const Tensor& x);
 

@@ -31,6 +31,14 @@ struct SolverOptions {
   /// Convergence threshold on node-voltage movement, relative to v_read.
   double tol = 1e-9;
   int max_sweeps = 200;
+  /// When true, XbarStreams opened on a solver-programmed crossbar carry
+  /// each RHS column's converged node voltages into the next chunk's solve
+  /// (the DAC chunks of one input are strongly correlated, so the
+  /// relaxation starts near the fixed point and needs fewer sweeps).
+  /// Results agree with cold solves within the solve tolerance; cold
+  /// entry points (mvm / mvm_multi) are unaffected. False restores
+  /// stateless streams for A/B comparisons.
+  bool warm_start_streams = true;
 };
 
 /// Outcome of one nodal solve. A solve that exhausts max_sweeps or

@@ -1,8 +1,11 @@
 #include "xbar/fast_noise.h"
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "xbar/device.h"
 
 namespace nvm::xbar {
@@ -45,6 +48,77 @@ class FastNoiseProgrammed final : public ProgrammedXbar {
         acc += device_current(g_.at(i, j), v_eff, b);
       }
       out[j] = static_cast<float>(acc);
+    }
+    guard_output_finite(out, "fast_noise");
+    return out;
+  }
+
+  Tensor mvm_multi(const Tensor& v_block) override {
+    NVM_CHECK_EQ(v_block.rank(), 2u);
+    return mvm_multi_active(v_block, cfg_.rows, cfg_.cols);
+  }
+
+  Tensor mvm_multi_active(const Tensor& v_block, std::int64_t rows_used,
+                          std::int64_t cols_used) override {
+    NVM_CHECK_EQ(v_block.rank(), 2u);
+    NVM_CHECK_EQ(v_block.dim(0), cfg_.rows);
+    const std::int64_t n = v_block.dim(1);
+    if (n == 0) return Tensor();
+    count_mvm_multi_columns(n);
+    const double b = cfg_.device_nonlin;
+    Tensor out({cfg_.cols, n});
+    const float* pv = v_block.raw();
+    const float* pg = g_.raw();
+    thread_local simd::Workspace ws;
+    std::span<double> acc = ws.doubles(0, static_cast<std::size_t>(n));
+    std::span<double> vmax = ws.doubles(1, static_cast<std::size_t>(rows_used));
+    for (std::int64_t i = 0; i < rows_used; ++i) {
+      const float* vrow = pv + i * n;
+      double m = 0.0;
+      for (std::int64_t k = 0; k < n; ++k)
+        m = std::max(m, std::abs(static_cast<double>(vrow[k])));
+      vmax[static_cast<std::size_t>(i)] = m;
+    }
+    // Blocked across the RHS: the per-(i,j) attenuation divide is hoisted
+    // out of the sample loop (the single-vector path pays it per sample).
+    // Each sample keeps the exact op sequence of mvm() — v*atten, then
+    // *col_atten, scalar device_current, ascending-i double accumulation —
+    // so this is bit-identical to looping mvm() over the block.
+    for (std::int64_t j = 0; j < cols_used; ++j) {
+      const double r_row_base = cfg_.r_source + cfg_.r_wire * j;
+      const double catten = col_atten_[static_cast<std::size_t>(j)];
+      for (std::int64_t k = 0; k < n; ++k) acc[static_cast<std::size_t>(k)] = 0.0;
+      for (std::int64_t i = 0; i < rows_used; ++i) {
+        const double atten =
+            1.0 / (1.0 + r_row_base * growsum_[static_cast<std::size_t>(i)]);
+        const double gij = pg[i * cfg_.cols + j];
+        const float* vrow = pv + i * n;
+        const double s = atten * catten;
+        if (std::abs(b) * s * vmax[static_cast<std::size_t>(i)] < 1.2) {
+          // Every sample of this cell lands in sinhc's polynomial branch,
+          // so the branch is uniform across the k loop and the body below
+          // — the same double ops device_current performs, written out —
+          // auto-vectorizes across samples. Bit-identical either way:
+          // IEEE elementwise ops don't change under SIMD.
+          for (std::int64_t k = 0; k < n; ++k) {
+            const double v_eff = vrow[k] * atten * catten;
+            const double x = b * v_eff;
+            const double x2 = x * x;
+            constexpr double c1 = 1.0 / 6.0, c2 = 1.0 / 120.0;
+            constexpr double c3 = 1.0 / 5040.0, c4 = 1.0 / 362880.0;
+            const double shc = 1.0 + x2 * (c1 + x2 * (c2 + x2 * (c3 + x2 * c4)));
+            acc[static_cast<std::size_t>(k)] += gij * v_eff * shc;
+          }
+        } else {
+          for (std::int64_t k = 0; k < n; ++k) {
+            const double v_eff = vrow[k] * atten * catten;
+            acc[static_cast<std::size_t>(k)] += device_current(gij, v_eff, b);
+          }
+        }
+      }
+      float* orow = out.raw() + j * n;
+      for (std::int64_t k = 0; k < n; ++k)
+        orow[k] = static_cast<float>(acc[static_cast<std::size_t>(k)]);
     }
     guard_output_finite(out, "fast_noise");
     return out;

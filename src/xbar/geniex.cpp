@@ -1,8 +1,11 @@
 #include "xbar/geniex.h"
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/file_cache.h"
 #include "common/health.h"
 #include "common/logging.h"
@@ -86,11 +89,34 @@ class GeniexProgrammed final : public ProgrammedXbar {
   }
 
   Tensor mvm_batch(const Tensor& vb) override {
-    return mvm_batch_active(vb, cfg_.rows, cfg_.cols);
+    return eval_block(vb, cfg_.rows, cfg_.cols);
   }
 
   Tensor mvm_batch_active(const Tensor& vb, std::int64_t rows_used,
                           std::int64_t cols_used) override {
+    return eval_block(vb, rows_used, cols_used);
+  }
+
+  Tensor mvm_multi(const Tensor& v_block) override {
+    NVM_CHECK_EQ(v_block.rank(), 2u);
+    count_mvm_multi_columns(v_block.dim(1));
+    return eval_block(v_block, cfg_.rows, cfg_.cols);
+  }
+
+  Tensor mvm_multi_active(const Tensor& v_block, std::int64_t rows_used,
+                          std::int64_t cols_used) override {
+    NVM_CHECK_EQ(v_block.rank(), 2u);
+    count_mvm_multi_columns(v_block.dim(1));
+    return eval_block(v_block, rows_used, cols_used);
+  }
+
+ private:
+  /// The blocked evaluation core behind every entry point. Runs entirely
+  /// on the calling thread; every per-sample op sequence is independent of
+  /// the block width, so any blocking of the same inputs (including n=1
+  /// single-vector mvm) produces bit-identical outputs.
+  Tensor eval_block(const Tensor& vb, std::int64_t rows_used,
+                    std::int64_t cols_used) {
     NVM_TRACE_SPAN("xbar/geniex/mvm_batch");
     NVM_CHECK_EQ(vb.rank(), 2u);
     NVM_CHECK_EQ(vb.dim(0), cfg_.rows);
@@ -101,13 +127,22 @@ class GeniexProgrammed final : public ProgrammedXbar {
     const float g_on = static_cast<float>(cfg_.g_on());
     const float i_scale = static_cast<float>(cfg_.i_scale());
 
+    // All per-call scratch lives in a per-thread workspace: one tiled
+    // matmul evaluates thousands of chunk blocks, and the reused buffers
+    // keep this path allocation-free after warm-up.
+    thread_local simd::Workspace ws;
+    const auto sz = [n](std::int64_t r) {
+      return static_cast<std::size_t>(r * n);
+    };
+
     // Elementwise input transforms (rows beyond rows_used are zero volts,
     // contributing exactly nothing to any sum below).
-    Tensor vv({rows_used, n}), vr({rows_used, n});
+    std::span<float> vv = ws.floats(0, sz(rows_used));
+    std::span<float> vr = ws.floats(1, sz(rows_used));
     const float* pvb = vb.raw();
     {
-      float* pvv = vv.raw();
-      float* pvr = vr.raw();
+      float* pvv = vv.data();
+      float* pvr = vr.data();
       for (std::int64_t i = 0; i < rows_used; ++i) {
         const float gr = stats_.growsum[i];
         const float* src = pvb + i * n;
@@ -121,17 +156,24 @@ class GeniexProgrammed final : public ProgrammedXbar {
     }
 
     // Fused feature GEMMs over the active region.
-    Tensor iid({cols, n}), e({cols, n}), p({cols, n}), wd({cols, n});
+    std::span<float> iid = ws.floats(2, sz(cols_used));
+    std::span<float> e = ws.floats(3, sz(cols_used));
+    std::span<float> p = ws.floats(4, sz(cols_used));
+    std::span<float> wd = ws.floats(5, sz(cols_used));
+    std::fill(iid.begin(), iid.end(), 0.0f);
+    std::fill(e.begin(), e.end(), 0.0f);
+    std::fill(p.begin(), p.end(), 0.0f);
+    std::fill(wd.begin(), wd.end(), 0.0f);
     {
       const float* pgt = stats_.gt.raw();    // (cols, rows)
       const float* pgtd = stats_.gtd.raw();  // (cols, rows)
-      const float* pvv = vv.raw();
-      const float* pvr = vr.raw();
+      const float* pvv = vv.data();
+      const float* pvr = vr.data();
       for (std::int64_t j = 0; j < cols_used; ++j) {
-        float* oi = iid.raw() + j * n;
-        float* oe = e.raw() + j * n;
-        float* op = p.raw() + j * n;
-        float* ow = wd.raw() + j * n;
+        float* oi = iid.data() + j * n;
+        float* oe = e.data() + j * n;
+        float* op = p.data() + j * n;
+        float* ow = wd.data() + j * n;
         const float* grow = pgt + j * rows;
         const float* gdrow = pgtd + j * rows;
         for (std::int64_t i = 0; i < rows_used; ++i) {
@@ -152,12 +194,15 @@ class GeniexProgrammed final : public ProgrammedXbar {
     }
 
     // Per-input-vector scalars.
-    std::vector<float> vbar(static_cast<std::size_t>(n), 0.0f);
-    std::vector<float> v2bar(static_cast<std::size_t>(n), 0.0f);
-    std::vector<float> rbar(static_cast<std::size_t>(n), 0.0f);
+    std::span<float> vbar = ws.floats(6, static_cast<std::size_t>(n));
+    std::span<float> v2bar = ws.floats(7, static_cast<std::size_t>(n));
+    std::span<float> rbar = ws.floats(8, static_cast<std::size_t>(n));
+    std::fill(vbar.begin(), vbar.end(), 0.0f);
+    std::fill(v2bar.begin(), v2bar.end(), 0.0f);
+    std::fill(rbar.begin(), rbar.end(), 0.0f);
     {
-      const float* pvv = vv.raw();
-      const float* pvr = vr.raw();
+      const float* pvv = vv.data();
+      const float* pvr = vr.data();
       for (std::int64_t i = 0; i < rows_used; ++i) {
         const float* xb = pvb + i * n;
         const float* xv = pvv + i * n;
@@ -179,25 +224,49 @@ class GeniexProgrammed final : public ProgrammedXbar {
     }
 
     Tensor out({cols, n});
-    float feats[kGeniexFeatureCount];
     const float rel_floor = kGeniexRelFloor * i_scale;
     std::vector<std::uint8_t> out_of_envelope(static_cast<std::size_t>(n), 0);
     bool any_fallback = false;
+    // Feature-major block (feature f of sample k at ft[f*n + k]) feeding
+    // the batched MLP forward. Denominators are the exact float
+    // expressions of fill_features, applied per sample, so each sample's
+    // feature values and prediction match the scalar path bit-for-bit.
+    std::span<float> ft =
+        ws.floats(9, static_cast<std::size_t>(kGeniexFeatureCount * n));
+    std::span<float> rel = ws.floats(10, static_cast<std::size_t>(n));
+    const float rows_f = static_cast<float>(cfg_.rows);
+    const float cols_f = static_cast<float>(cfg_.cols);
+    const float d_e = g_on * v_read * v_read * rows_f;
+    const float d_p = g_on * g_on * v_read * rows_f * rows_f;
+    const float d_w = g_on * v_read * rows_f;
+    const float d_g = g_on * rows_f;
     for (std::int64_t j = 0; j < cols_used; ++j) {
-      const float* ji = iid.raw() + j * n;
-      const float* je = e.raw() + j * n;
-      const float* jp = p.raw() + j * n;
-      const float* jw = wd.raw() + j * n;
+      const float* ji = iid.data() + j * n;
+      const float* je = e.data() + j * n;
+      const float* jp = p.data() + j * n;
+      const float* jw = wd.data() + j * n;
       float* jo = out.raw() + j * n;
+      float* F = ft.data();
+      const float f_gsum = stats_.gsum[j] / d_g;
+      const float f_pos =
+          cols_f > 1 ? static_cast<float>(j) / (cols_f - 1) : 0.0f;
       for (std::int64_t k = 0; k < n; ++k) {
-        fill_features(cfg_, stats_, j, ji[k],
-                      vbar[static_cast<std::size_t>(k)],
-                      v2bar[static_cast<std::size_t>(k)],
-                      rbar[static_cast<std::size_t>(k)], je[k], jp[k], jw[k],
-                      feats);
-        const float rel = mlp_.predict({feats, kGeniexFeatureCount});
-        if (guard_.enabled && (!std::isfinite(rel) || rel < guard_.rel_min ||
-                               rel > guard_.rel_max)) {
+        F[0 * n + k] = ji[k] / i_scale;
+        F[4 * n + k] = je[k] / d_e;
+        F[5 * n + k] = jp[k] / d_p;
+        F[9 * n + k] = jw[k] / d_w;
+        F[1 * n + k] = f_gsum;
+        F[7 * n + k] = f_pos;
+        F[8 * n + k] = stats_.garr;
+      }
+      std::copy(vbar.begin(), vbar.end(), F + 2 * n);
+      std::copy(v2bar.begin(), v2bar.end(), F + 3 * n);
+      std::copy(rbar.begin(), rbar.end(), F + 6 * n);
+      mlp_.predict_block(F, n, rel.data());
+      for (std::int64_t k = 0; k < n; ++k) {
+        const float r = rel[static_cast<std::size_t>(k)];
+        if (guard_.enabled && (!std::isfinite(r) || r < guard_.rel_min ||
+                               r > guard_.rel_max)) {
           // Out-of-envelope deviation: the surrogate is off its training
           // distribution for this input. Its whole column set for sample k
           // is distrusted and re-evaluated on the fallback model below.
@@ -207,7 +276,7 @@ class GeniexProgrammed final : public ProgrammedXbar {
         const float denom = std::max(ji[k], rel_floor);
         // Physical clamp: column current is non-negative and bounded by
         // the full-scale current.
-        jo[k] = std::clamp(ji[k] - rel * denom, 0.0f, i_scale);
+        jo[k] = std::clamp(ji[k] - r * denom, 0.0f, i_scale);
       }
     }
     if (any_fallback) degrade_to_fallback(vb, out_of_envelope, cols_used, out);

@@ -4,18 +4,11 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace nvm::xbar {
 
-float fast_tanh(float x) {
-  if (x > 4.97f) return 1.0f;
-  if (x < -4.97f) return -1.0f;
-  const float x2 = x * x;
-  // Pade-like rational approximation (Lambert-style).
-  const float p = x * (135135.0f + x2 * (17325.0f + x2 * (378.0f + x2)));
-  const float q = 135135.0f + x2 * (62370.0f + x2 * (3150.0f + x2 * 28.0f));
-  return p / q;
-}
+float fast_tanh(float x) { return simd::tanh_fast(x); }
 
 MlpRegressor::MlpRegressor(std::int64_t in_dim, std::int64_t hidden, Rng& rng)
     : in_dim_(in_dim),
@@ -63,6 +56,27 @@ float MlpRegressor::predict(std::span<const float> features) const {
     out += w2_[h] * fast_tanh(acc);
   }
   return out;
+}
+
+void MlpRegressor::predict_block(const float* features_t, std::int64_t n,
+                                 float* out) const {
+  // Vectorized across samples; per sample the op sequence is exactly
+  // predict()'s — b1 seed, unfused += w1*f ascending i, fast_tanh, unfused
+  // += w2*act ascending h — so each out[s] is bit-identical to
+  // predict(features of s).
+  const float* w1 = w1_.raw();
+  thread_local simd::Workspace ws;
+  std::span<float> hid = ws.floats(0, static_cast<std::size_t>(n));
+  for (std::int64_t s = 0; s < n; ++s) out[s] = b2_[0];
+  for (std::int64_t h = 0; h < hidden_; ++h) {
+    const float b1h = b1_[h];
+    for (std::int64_t s = 0; s < n; ++s) hid[static_cast<std::size_t>(s)] = b1h;
+    const float* wrow = w1 + h * in_dim_;
+    for (std::int64_t i = 0; i < in_dim_; ++i)
+      simd::madd(hid.data(), features_t + i * n, wrow[i], n);
+    simd::tanh_block(hid.data(), n);
+    simd::madd(out, hid.data(), w2_[h], n);
+  }
 }
 
 float MlpRegressor::train(const Tensor& x, const Tensor& y,

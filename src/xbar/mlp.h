@@ -45,6 +45,13 @@ class MlpRegressor {
   /// Predicts a single value from `in_dim` features.
   float predict(std::span<const float> features) const;
 
+  /// Batched predict over `n` samples laid out FEATURE-MAJOR:
+  /// features_t[i * n + s] is feature i of sample s. Writes one prediction
+  /// per sample into out[0..n). Bit-identical to calling predict() per
+  /// sample (simd kernels keep each sample's op order unchanged).
+  void predict_block(const float* features_t, std::int64_t n,
+                     float* out) const;
+
   /// Adam training on MSE. `x` is (n, in_dim), `y` is (n). Returns final
   /// epoch mean squared error.
   float train(const Tensor& x, const Tensor& y, const MlpTrainOptions& opt);

@@ -6,6 +6,7 @@
 #include "common/health.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "tensor/ops.h"
 
@@ -17,6 +18,58 @@ Tensor ProgrammedXbar::mvm_batch_active(const Tensor& v_batch,
   (void)rows_used;
   (void)cols_used;
   return mvm_batch(v_batch);
+}
+
+void count_mvm_multi_columns(std::int64_t n) {
+  static metrics::Counter& columns =
+      metrics::counter("xbar/mvm_multi_columns");
+  columns.add(static_cast<std::uint64_t>(n));
+}
+
+Tensor ProgrammedXbar::mvm_multi(const Tensor& v_block) {
+  NVM_CHECK_EQ(v_block.rank(), 2u);
+  const std::int64_t rows = v_block.dim(0), n = v_block.dim(1);
+  if (n == 0) return Tensor();
+  count_mvm_multi_columns(n);
+  Tensor v({rows});
+  Tensor out;
+  for (std::int64_t k = 0; k < n; ++k) {
+    for (std::int64_t i = 0; i < rows; ++i) v[i] = v_block.at(i, k);
+    Tensor y = mvm(v);
+    if (k == 0) out = Tensor({y.numel(), n});
+    for (std::int64_t j = 0; j < y.numel(); ++j) out.at(j, k) = y[j];
+  }
+  return out;
+}
+
+Tensor ProgrammedXbar::mvm_multi_active(const Tensor& v_block,
+                                        std::int64_t rows_used,
+                                        std::int64_t cols_used) {
+  (void)rows_used;
+  (void)cols_used;
+  return mvm_multi(v_block);
+}
+
+namespace {
+
+/// Default stream: stateless forwarding, identical to cold evaluation.
+class PassthroughStream final : public XbarStream {
+ public:
+  explicit PassthroughStream(ProgrammedXbar* xbar) : xbar_(xbar) {}
+
+  Tensor mvm_multi_active(const Tensor& v_block, std::int64_t rows_used,
+                          std::int64_t cols_used) override {
+    return xbar_->mvm_multi_active(v_block, rows_used, cols_used);
+  }
+
+ private:
+  ProgrammedXbar* xbar_;
+};
+
+}  // namespace
+
+std::unique_ptr<XbarStream> ProgrammedXbar::open_stream() {
+  return std::make_unique<PassthroughStream>(this);
 }
 
 Tensor ProgrammedXbar::mvm_batch(const Tensor& v_batch) {
@@ -83,6 +136,33 @@ class IdealProgrammed final : public ProgrammedXbar {
   Tensor mvm(const Tensor& v) override { return matvec(gt_, v); }
   Tensor mvm_batch(const Tensor& v_batch) override {
     return matmul(gt_, v_batch);
+  }
+  Tensor mvm_multi(const Tensor& v_block) override {
+    NVM_CHECK_EQ(v_block.rank(), 2u);
+    NVM_CHECK_EQ(v_block.dim(0), gt_.dim(1));
+    const std::int64_t n = v_block.dim(1);
+    if (n == 0) return Tensor();
+    count_mvm_multi_columns(n);
+    Tensor out({gt_.dim(0), n});
+    // Same sequential-over-rows double accumulation as matvec per column,
+    // so this is bit-identical to looping mvm().
+    simd::gemm_f64acc(out.raw(), gt_.raw(), v_block.raw(), gt_.dim(0), n,
+                      gt_.dim(1), gt_.dim(1), n, n);
+    return out;
+  }
+  Tensor mvm_multi_active(const Tensor& v_block, std::int64_t rows_used,
+                          std::int64_t cols_used) override {
+    NVM_CHECK_EQ(v_block.rank(), 2u);
+    NVM_CHECK_EQ(v_block.dim(0), gt_.dim(1));
+    const std::int64_t n = v_block.dim(1);
+    if (n == 0) return Tensor();
+    count_mvm_multi_columns(n);
+    Tensor out({gt_.dim(0), n});
+    // Rows beyond rows_used carry exactly zero volts, so truncating the
+    // reduction adds only +0.0 terms and the result stays bit-identical.
+    simd::gemm_f64acc(out.raw(), gt_.raw(), v_block.raw(), cols_used, n,
+                      rows_used, gt_.dim(1), n, n);
+    return out;
   }
   Tensor mvm_batch_active(const Tensor& v_batch, std::int64_t rows_used,
                           std::int64_t cols_used) override {

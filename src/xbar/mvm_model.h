@@ -18,15 +18,18 @@
 
 namespace nvm::xbar {
 
+class XbarStream;
+
 /// A conductance matrix resident on a (model of a) crossbar.
 ///
 /// Thread-safety contract: after program() returns, a ProgrammedXbar is
-/// immutable — mvm()/mvm_batch()/mvm_batch_active() must be safe to call
-/// concurrently on the same object. The parallel execution layer relies on
-/// this in two places: the default mvm_batch() fans input vectors across
-/// the thread pool, and puma::TiledMatrix::matmul evaluates programmed
-/// tiles concurrently. Implementations needing mutable solve state keep it
-/// per-thread (see SolverProgrammed's thread-local workspace).
+/// immutable — mvm()/mvm_batch()/mvm_batch_active()/mvm_multi*() must be
+/// safe to call concurrently on the same object. The parallel execution
+/// layer relies on this in two places: the default mvm_batch() fans input
+/// vectors across the thread pool, and puma::TiledMatrix::matmul evaluates
+/// programmed tiles concurrently. Implementations needing mutable solve
+/// state keep it per-thread (see SolverProgrammed's thread-local
+/// workspace) or per-stream (see open_stream()).
 class ProgrammedXbar {
  public:
   virtual ~ProgrammedXbar() = default;
@@ -50,6 +53,41 @@ class ProgrammedXbar {
   virtual Tensor mvm_batch_active(const Tensor& v_batch,
                                   std::int64_t rows_used,
                                   std::int64_t cols_used);
+
+  /// Multi-RHS MVM evaluated on the CALLING thread: v_block is (rows, n)
+  /// -> (cols, n). Contract: bit-identical to evaluating mvm() per column
+  /// (the blocked overrides vectorize across columns while keeping each
+  /// column's accumulation order unchanged). This is the primitive the
+  /// tiled GEMM drives per tile-slot task; unlike mvm_batch() it never
+  /// touches the thread pool. Default loops mvm().
+  virtual Tensor mvm_multi(const Tensor& v_block);
+
+  /// mvm_multi with the same activity hint semantics as
+  /// mvm_batch_active(). Default ignores the hint.
+  virtual Tensor mvm_multi_active(const Tensor& v_block,
+                                  std::int64_t rows_used,
+                                  std::int64_t cols_used);
+
+  /// Opens an evaluation stream for a sequence of RELATED v-blocks (the
+  /// DAC bit-stream chunks of one tiled-GEMM input). A stream may carry
+  /// model state between calls — e.g. the circuit solver warm-starts each
+  /// solve from the previous chunk's node voltages — so results may differ
+  /// from cold mvm_multi_active() within the model's solve tolerance. The
+  /// default stream is stateless and forwards to mvm_multi_active()
+  /// verbatim. Streams borrow the xbar (keep it alive) and are NOT
+  /// thread-safe; use one stream per thread/task.
+  virtual std::unique_ptr<XbarStream> open_stream();
+};
+
+/// Stateful evaluation handle from ProgrammedXbar::open_stream().
+class XbarStream {
+ public:
+  virtual ~XbarStream() = default;
+
+  /// Same shapes and hint semantics as ProgrammedXbar::mvm_multi_active.
+  virtual Tensor mvm_multi_active(const Tensor& v_block,
+                                  std::int64_t rows_used,
+                                  std::int64_t cols_used) = 0;
 };
 
 /// Factory for programmed crossbars of one electrical configuration.
@@ -67,6 +105,10 @@ class MvmModel {
 
 /// Validates shape and conductance range of a matrix to be programmed.
 void validate_conductances(const Tensor& g, const CrossbarConfig& cfg);
+
+/// Tallies `n` columns under xbar/mvm_multi_columns; every mvm_multi*
+/// override calls this so the metric stays model-independent.
+void count_mvm_multi_columns(std::int64_t n);
 
 /// Scrubs NaN/Inf entries from a crossbar output (replaced with 0 — a
 /// dead column reads no current), counting them under
