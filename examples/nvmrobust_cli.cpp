@@ -16,6 +16,11 @@
 //       [--chip S] [--n K] [--eps E/255] [--iters I] [--attack pgd|square|both|none]
 //       Clean + transferred-adversarial accuracy vs stuck-cell rate and
 //       conductance-drift time, with failure-handling counters per row.
+//   serve [--rate RPS] [--requests N] [--batch B] [--flush_us US] [--queue Q]
+//       [--timeout_us US] [--model fast_noise|ideal]
+//       Stand up the micro-batching inference service over a crossbar-
+//       deployed linear classifier and drive it with deterministic
+//       open-loop Poisson traffic; reports throughput and latency.
 //
 // All artifacts cache under ./repro_cache; everything is deterministic.
 //
@@ -38,6 +43,7 @@
 #include "nn/loss.h"
 #include "puma/hw_network.h"
 #include "puma/tiled_mvm.h"
+#include "serve/serve.h"
 #include "tensor/ops.h"
 #include "xbar/fast_noise.h"
 #include "xbar/geniex.h"
@@ -390,6 +396,86 @@ int cmd_quickstart(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Micro-batching inference service demo: stands up nvm::serve over a
+/// crossbar-deployed linear classifier and drives it with deterministic
+/// open-loop Poisson traffic.
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  core::RunManifest manifest = manifest_for("serve", flags);
+
+  xbar::CrossbarConfig cfg = xbar::xbar_32x32_100k();
+  manifest.set_xbar(cfg);
+  const std::string model_kind = flag_or(flags, "model", "fast_noise");
+  std::shared_ptr<const xbar::MvmModel> model;
+  if (model_kind == "fast_noise") {
+    model = std::make_shared<xbar::FastNoiseModel>(cfg);
+  } else if (model_kind == "ideal") {
+    model = std::make_shared<xbar::IdealXbarModel>(cfg);
+  } else {
+    std::fprintf(stderr, "serve: --model must be fast_noise or ideal\n");
+    return 2;
+  }
+
+  const auto classes = static_cast<std::int64_t>(flag_or(flags, "classes", 16));
+  const auto feat = static_cast<std::int64_t>(flag_or(flags, "features", 128));
+  const auto seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 1));
+  Rng wrng(derive_seed(seed, 0));
+  Tensor w({classes, feat});
+  for (auto& v : w.data()) v = static_cast<float>(wrng.uniform(-1.0, 1.0));
+  serve::TiledLinearBackend backend(w, model, puma::HwConfig{}, 1.0f);
+
+  const auto n = static_cast<std::int64_t>(flag_or(flags, "requests", 400));
+  Rng xrng(derive_seed(seed, 1));
+  std::vector<Tensor> requests;
+  requests.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor x({feat});
+    for (auto& v : x.data()) v = static_cast<float>(xrng.uniform());
+    requests.push_back(std::move(x));
+  }
+
+  serve::ServeOptions opt = serve::ServeOptions::from_env();
+  opt.max_batch = static_cast<std::int64_t>(
+      flag_or(flags, "batch", static_cast<double>(opt.max_batch)));
+  opt.flush_us = static_cast<std::int64_t>(
+      flag_or(flags, "flush_us", static_cast<double>(opt.flush_us)));
+  opt.queue_capacity = static_cast<std::int64_t>(
+      flag_or(flags, "queue", static_cast<double>(opt.queue_capacity)));
+  opt.timeout_us = static_cast<std::int64_t>(
+      flag_or(flags, "timeout_us", static_cast<double>(opt.timeout_us)));
+  serve::Server server(backend, opt);
+
+  serve::TrafficOptions traffic;
+  traffic.rate_rps = flag_or(flags, "rate", 2000.0);
+  traffic.seed = derive_seed(seed, 2);
+  const serve::TrafficReport rep =
+      serve::run_open_loop(server, requests, traffic);
+  server.drain();
+
+  std::printf(
+      "serve on %s (%s, %lldx%lld classifier): %lld ok / %lld shed / "
+      "%lld timeout at %.0f rps offered\n"
+      "  throughput %.0f rps, latency p50 %.3f ms p99 %.3f ms "
+      "(queue p50 %.3f ms), mean batch %.1f\n",
+      cfg.name.c_str(), model_kind.c_str(), static_cast<long long>(classes),
+      static_cast<long long>(feat), static_cast<long long>(rep.ok),
+      static_cast<long long>(rep.shed), static_cast<long long>(rep.timed_out),
+      traffic.rate_rps, rep.throughput_rps, rep.p50_ms, rep.p99_ms,
+      rep.queue_p50_ms, rep.mean_batch);
+
+  manifest.set_note("model", model_kind);
+  manifest.set_note("serve", "max_batch=" + std::to_string(opt.max_batch) +
+                                 " flush_us=" + std::to_string(opt.flush_us));
+  manifest.add_result("requests_ok", static_cast<double>(rep.ok));
+  manifest.add_result("requests_shed", static_cast<double>(rep.shed));
+  manifest.add_result("throughput_rps", rep.throughput_rps);
+  manifest.add_result("latency_p50_ms", rep.p50_ms);
+  manifest.add_result("latency_p99_ms", rep.p99_ms);
+  manifest.add_result("queue_p50_ms", rep.queue_p50_ms);
+  manifest.add_result("queue_p99_ms", rep.queue_p99_ms);
+  manifest.add_result("mean_batch", rep.mean_batch);
+  return rep.errors == 0 ? 0 : 1;
+}
+
 void usage() {
   std::printf(
       "usage: nvmrobust_cli <command> [--flag value ...]\n"
@@ -403,7 +489,13 @@ void usage() {
       "              --rates 0,0.01,0.05 --drift 0 --chip S --n K\n"
       "              --attack pgd|square|both|none --eps E --iters I]\n"
       "                                      accuracy vs device fault rate\n"
+      "  serve  [--rate RPS --requests N --batch B --flush_us US --queue Q\n"
+      "          --timeout_us US --model fast_noise|ideal]\n"
+      "                                      micro-batching inference service\n"
+      "                                      under open-loop Poisson traffic\n"
       "crossbar MODEL is one of: 64x64_300k, 32x32_100k, 64x64_100k\n"
+      "serve also honours NVM_SERVE_MAX_BATCH / NVM_SERVE_FLUSH_US /\n"
+      "NVM_SERVE_QUEUE_CAP / NVM_SERVE_TIMEOUT_US\n"
       "every command also accepts --metrics-out PATH (or NVM_METRICS_OUT)\n"
       "to write a JSON run manifest\n");
 }
@@ -423,6 +515,7 @@ int main(int argc, char** argv) {
   if (cmd == "eval") return cmd_eval(flags);
   if (cmd == "attack") return cmd_attack(flags);
   if (cmd == "fault_sweep") return cmd_fault_sweep(flags);
+  if (cmd == "serve") return cmd_serve(flags);
   usage();
   return 2;
 }

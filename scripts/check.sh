@@ -46,6 +46,35 @@ else
   echo "manifest ok (grep check)"
 fi
 
+# Seconds-long serving smoke: open-loop traffic against the micro-batching
+# service; the run must shed nothing at this modest load and must write a
+# manifest carrying the serve metrics.
+serve_smoke() {
+  local cli="$1" manifest="$2"
+  rm -f "$manifest"
+  "$cli" serve --requests 200 --rate 1500 --queue 1024 --metrics-out "$manifest"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$manifest" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["run"] == "cli/serve", m["run"]
+assert m["results"]["requests_shed"] == 0, "serve smoke must not shed"
+assert m["results"]["requests_ok"] == 200, m["results"]["requests_ok"]
+assert m["results"]["throughput_rps"] > 0
+assert m["metrics"]["serve/batches"] > 0
+print("serve manifest ok: %.0f rps, p99 %.3f ms"
+      % (m["results"]["throughput_rps"], m["results"]["latency_p99_ms"]))
+EOF
+  else
+    grep -q '"run": "cli/serve"' "$manifest"
+    grep -q '"requests_shed": 0' "$manifest"
+    echo "serve manifest ok (grep check)"
+  fi
+}
+
+echo "== tier-1: serving smoke (micro-batching service) =="
+serve_smoke ./build/examples/nvmrobust_cli /tmp/nvmrobust_check_serve.json
+
 if [[ "${1:-}" == "--skip-sanitize" ]]; then
   echo "== sanitizer pass skipped =="
   exit 0
@@ -55,5 +84,8 @@ echo "== sanitizer: ASan+UBSan build + ctest =="
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== sanitizer: serving smoke under ASan+UBSan =="
+serve_smoke ./build-asan/examples/nvmrobust_cli /tmp/nvmrobust_check_serve_asan.json
 
 echo "== all checks passed =="

@@ -36,6 +36,10 @@ run cost_model "$BUILD/bench/bench_cost_model"
 run mvm_perf "$BUILD/bench/bench_mvm_perf" \
   --benchmark_filter='BM_IdealMvm|BM_FastNoiseMvm|BM_TiledMatmul/0|BM_SolverTiledMatmulWarmStart' \
   --benchmark_min_time=0.05
+# Serving layer: throughput + exact p50/p99 latency at 2 offered loads and
+# saturation, max_batch 1 vs 32; exits nonzero if batching fails to beat
+# batch-1 or a reply changes with batch composition.
+run serve "$BUILD/bench/bench_serve"
 
 echo "== bench manifests =="
 ls -l BENCH_*.json

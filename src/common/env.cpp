@@ -1,6 +1,10 @@
 #include "common/env.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/logging.h"
 
 namespace nvm {
 
@@ -17,8 +21,20 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   const char* env = std::getenv(name.c_str());
   if (env == nullptr || *env == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long v = std::strtoll(env, &end, 10);
-  if (end == env) return fallback;
+  // Reject, rather than half-accept: ERANGE (strtoll silently clamps to
+  // LLONG_MIN/MAX) and trailing non-whitespace ("8abc" is a typo, not 8).
+  bool malformed = end == env || errno == ERANGE;
+  if (!malformed) {
+    while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+    malformed = *end != '\0';
+  }
+  if (malformed) {
+    NVM_LOG(Warn) << name << "='" << env
+                  << "' is not a valid integer; using default " << fallback;
+    return fallback;
+  }
   return static_cast<std::int64_t>(v);
 }
 

@@ -16,7 +16,11 @@ bool full_scale();
 /// Returns `quick` normally, `full` when REPRO_FULL=1.
 std::int64_t scaled(std::int64_t quick, std::int64_t full);
 
-/// Reads an integer env override, falling back to `fallback`.
+/// Reads an integer env override, falling back to `fallback` when the
+/// variable is unset, empty, or malformed. The whole value must parse
+/// (modulo surrounding whitespace): trailing garbage ("8abc") and
+/// out-of-range magnitudes are rejected with one Warn log rather than
+/// silently truncated or clamped.
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
 /// Reads a string env override, falling back to `fallback` when the

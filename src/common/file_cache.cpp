@@ -1,5 +1,9 @@
 #include "common/file_cache.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -117,6 +121,20 @@ bool load_entry(const std::string& name, const std::string& tag,
   }
 }
 
+/// Writes all `n` bytes to `fd`, riding out short writes and EINTR.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ::ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
 }  // namespace
 
 void cache_store(const std::string& name, const std::string& tag,
@@ -134,22 +152,51 @@ void cache_store(const std::string& name, const std::string& tag,
   }
   const std::string payload = buf.str();
 
-  const std::string path = cache_dir() + "/" + name;
-  const std::string tmp = path + ".tmp";
+  std::ostringstream hbuf;
   {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    NVM_CHECK(static_cast<bool>(os), "cannot open cache file " << tmp);
-    BinaryWriter w(os);
+    BinaryWriter w(hbuf);
     w.write_u32(kMagic);
     w.write_string(tag);
     w.write_u32(crc32(payload.data(), payload.size()));
     w.write_u64(payload.size());
-    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    NVM_CHECK(w.ok(), "cache write failed for " << tmp);
+    NVM_CHECK(w.ok(), "cache header serialization failed for " << name);
+  }
+  const std::string header = hbuf.str();
+
+  // Publish via write-tmp / fsync / rename: the fsync barrier keeps a
+  // crash around the rename from replacing a good entry with a torn one,
+  // and every failure path removes the .tmp so aborted stores never leave
+  // orphans behind (a leftover .tmp from a crashed process is reclaimed by
+  // O_TRUNC on the next store of the same entry). I/O failures here only
+  // warn: the cache is an accelerator, losing a store is recoverable.
+  const std::string dir = cache_dir();
+  const std::string path = dir + "/" + name;
+  const std::string tmp = path + ".tmp";
+  bool ok = false;
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd >= 0) {
+    ok = write_all(fd, header.data(), header.size()) &&
+         write_all(fd, payload.data(), payload.size()) && ::fsync(fd) == 0;
+    ok = (::close(fd) == 0) && ok;
   }
   std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) NVM_LOG(Warn) << "cache rename failed: " << ec.message();
+  if (ok) {
+    std::filesystem::rename(tmp, path, ec);
+    if (!ec) {
+      // Best-effort directory sync so the rename itself is durable too.
+      const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+      if (dfd >= 0) {
+        (void)::fsync(dfd);
+        ::close(dfd);
+      }
+      return;
+    }
+    NVM_LOG(Warn) << "cache rename failed for " << tmp << ": " << ec.message();
+  } else {
+    NVM_LOG(Warn) << "cache write failed for " << tmp;
+  }
+  std::filesystem::remove(tmp, ec);
 }
 
 }  // namespace nvm

@@ -114,6 +114,24 @@ Histogram& histogram(const std::string& name, std::vector<double> bounds) {
   return *find_or_create(name, Kind::Histogram, std::move(bounds)).histogram;
 }
 
+double quantile(const MetricValue& m, double q) {
+  if (m.kind != Kind::Histogram || m.count == 0 || m.bounds.empty())
+    return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(m.count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < m.buckets.size(); ++i) {
+    const double c = static_cast<double>(m.buckets[i]);
+    if (c > 0.0 && cum + c >= rank) {
+      if (i == m.bounds.size()) return m.bounds.back();  // overflow bucket
+      const double lo = (i == 0) ? 0.0 : m.bounds[i - 1];
+      return lo + (m.bounds[i] - lo) * ((rank - cum) / c);
+    }
+    cum += c;
+  }
+  return m.bounds.back();
+}
+
 std::vector<MetricValue> snapshot() {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mu);

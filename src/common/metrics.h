@@ -109,6 +109,14 @@ struct MetricValue {
   std::vector<std::uint64_t> buckets;
 };
 
+/// Estimated q-quantile (q in [0, 1]) of a histogram MetricValue: linear
+/// interpolation inside the bucket that holds the target rank, with bucket
+/// i spanning (bounds[i-1], bounds[i]] and the first bucket anchored at 0.
+/// Observations landing in the overflow bucket resolve to the highest
+/// bound (Prometheus histogram_quantile semantics). Returns 0 for empty
+/// histograms and non-histogram values.
+double quantile(const MetricValue& m, double q);
+
 /// Point-in-time copy of every registered metric, sorted by name.
 std::vector<MetricValue> snapshot();
 

@@ -112,7 +112,10 @@ void ThreadPool::parallel_chunks(std::int64_t n, std::int64_t max_chunks,
   NVM_CHECK_GT(max_chunks, 0);
   const std::int64_t chunks = std::min(max_chunks, n);
   const auto chunk_begin = [n, chunks](std::int64_t c) {
-    return c * n / chunks;
+    // floor(c * n / chunks), widened so the product can't overflow int64
+    // for huge n (c <= chunks <= n <= 2^63-1). Boundaries are unchanged
+    // for every input the narrow formula handled.
+    return static_cast<std::int64_t>(static_cast<__int128>(c) * n / chunks);
   };
 
   if (chunks == 1 || size_ == 1 || in_parallel_region()) {

@@ -257,6 +257,12 @@ void write_metric_delta(JsonWriter& j, const metrics::MetricValue& m) {
       j.begin_array();
       for (const std::uint64_t b : m.buckets) j.value(b);
       j.end_array();
+      // Interpolated tail estimates so consumers get latency percentiles
+      // without re-deriving them from the buckets.
+      j.key("p50");
+      j.value(metrics::quantile(m, 0.5));
+      j.key("p99");
+      j.value(metrics::quantile(m, 0.99));
       j.end_object();
       break;
   }

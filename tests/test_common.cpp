@@ -290,6 +290,35 @@ TEST_F(FileCacheTest, GarbageFileIsRejectedNotCrashed) {
   EXPECT_FALSE(cache_load("junk.bin", "tag", [](BinaryReader&) { FAIL(); }));
 }
 
+TEST_F(FileCacheTest, LeftoverTmpIsReclaimedByNextStore) {
+  // A crashed process can leave entry.bin.tmp behind; the next store of
+  // the same entry must truncate it, publish cleanly, and leave no .tmp.
+  std::filesystem::create_directories(dir_);
+  const auto tmp = dir_ / "entry.bin.tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary);
+    f << "stale half-written bytes from a crashed store";
+  }
+  ASSERT_TRUE(std::filesystem::exists(tmp));
+  cache_store("entry.bin", "tag", [](BinaryWriter& w) { w.write_i64(5); });
+  EXPECT_FALSE(std::filesystem::exists(tmp));
+  std::int64_t got = 0;
+  EXPECT_TRUE(cache_load("entry.bin", "tag",
+                         [&](BinaryReader& r) { got = r.read_i64(); }));
+  EXPECT_EQ(got, 5);
+}
+
+TEST_F(FileCacheTest, FailedPublishLeavesNoTmpBehind) {
+  // Force the final rename to fail by occupying the destination with a
+  // non-empty directory. The store must warn, not throw, and must clean
+  // up its .tmp file instead of orphaning it.
+  std::filesystem::create_directories(dir_ / "entry.bin" / "sub");
+  EXPECT_NO_THROW(cache_store("entry.bin", "tag",
+                              [](BinaryWriter& w) { w.write_i64(5); }));
+  EXPECT_FALSE(std::filesystem::exists(dir_ / "entry.bin.tmp"));
+  EXPECT_TRUE(std::filesystem::is_directory(dir_ / "entry.bin"));
+}
+
 TEST_F(FileCacheTest, LoadCallbackFailureDoesNotEscape) {
   // A payload that parses but whose loader trips an NVM_CHECK (schema
   // drift) must also surface as a miss, not an exception.
@@ -330,6 +359,28 @@ TEST(Env, EnvIntParsesAndFallsBack) {
   ::unsetenv("NVM_TEST_INT");
   EXPECT_EQ(env_int("NVM_TEST_INT", 7), 7);
   ::setenv("NVM_TEST_INT", "junk", 1);
+  EXPECT_EQ(env_int("NVM_TEST_INT", 7), 7);
+  ::unsetenv("NVM_TEST_INT");
+}
+
+TEST(Env, EnvIntRejectsTrailingGarbageAndOverflow) {
+  // "8abc" is a typo, not 8: a partial parse must not be half-accepted.
+  ::setenv("NVM_TEST_INT", "8abc", 1);
+  EXPECT_EQ(env_int("NVM_TEST_INT", 7), 7);
+  ::setenv("NVM_TEST_INT", "4 2", 1);
+  EXPECT_EQ(env_int("NVM_TEST_INT", 7), 7);
+  // Surrounding whitespace is fine; strtoll skips it leading, we allow it
+  // trailing.
+  ::setenv("NVM_TEST_INT", " 42 ", 1);
+  EXPECT_EQ(env_int("NVM_TEST_INT", 7), 42);
+  ::setenv("NVM_TEST_INT", "-12", 1);
+  EXPECT_EQ(env_int("NVM_TEST_INT", 7), -12);
+  // Out-of-range values would otherwise silently clamp to LLONG_MAX/MIN.
+  ::setenv("NVM_TEST_INT", "99999999999999999999999999", 1);
+  EXPECT_EQ(env_int("NVM_TEST_INT", 7), 7);
+  ::setenv("NVM_TEST_INT", "-99999999999999999999999999", 1);
+  EXPECT_EQ(env_int("NVM_TEST_INT", 7), 7);
+  ::setenv("NVM_TEST_INT", "", 1);
   EXPECT_EQ(env_int("NVM_TEST_INT", 7), 7);
   ::unsetenv("NVM_TEST_INT");
 }

@@ -106,6 +106,43 @@ TEST(Metrics, CountersExactUnderConcurrentAdds) {
   EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kAdds);
 }
 
+TEST(Metrics, QuantileInterpolatesWithinBuckets) {
+  metrics::MetricValue m;
+  m.kind = metrics::Kind::Histogram;
+  m.bounds = {10.0, 20.0, 40.0};
+  m.buckets = {4, 4, 0, 0};  // uniform mass over (0,10] and (10,20]
+  m.count = 8;
+  // Rank q*count = 4 lands at the top of bucket 0; q=0.25 is its middle.
+  EXPECT_DOUBLE_EQ(metrics::quantile(m, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(metrics::quantile(m, 0.25), 5.0);
+  EXPECT_DOUBLE_EQ(metrics::quantile(m, 0.75), 15.0);
+  EXPECT_DOUBLE_EQ(metrics::quantile(m, 1.0), 20.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(metrics::quantile(m, 2.0), 20.0);
+}
+
+TEST(Metrics, QuantileHandlesOverflowAndDegenerateInputs) {
+  metrics::MetricValue m;
+  m.kind = metrics::Kind::Histogram;
+  m.bounds = {10.0, 20.0};
+  m.buckets = {1, 0, 9};  // almost all mass beyond the last bound
+  m.count = 10;
+  // Overflow-bucket quantiles resolve to the highest bound (Prometheus
+  // semantics): the histogram cannot see further than its last edge.
+  EXPECT_DOUBLE_EQ(metrics::quantile(m, 0.99), 20.0);
+
+  metrics::MetricValue empty;
+  empty.kind = metrics::Kind::Histogram;
+  empty.bounds = {10.0};
+  empty.buckets = {0, 0};
+  EXPECT_DOUBLE_EQ(metrics::quantile(empty, 0.5), 0.0);
+
+  metrics::MetricValue counter;  // non-histogram
+  counter.kind = metrics::Kind::Counter;
+  counter.value = 7.0;
+  EXPECT_DOUBLE_EQ(metrics::quantile(counter, 0.5), 0.0);
+}
+
 TEST(Metrics, SnapshotAndDelta) {
   metrics::Counter& c = metrics::counter("test/delta_counter");
   metrics::Gauge& g = metrics::gauge("test/delta_gauge");

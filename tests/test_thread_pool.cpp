@@ -111,6 +111,48 @@ TEST(ThreadPool, ChunkDecompositionIsPoolSizeIndependent) {
   }
 }
 
+TEST(ThreadPool, ChunkBoundariesMatchLegacyFormulaWhereItWasSafe) {
+  // The overflow-safe split must keep the exact floor(c*n/chunks)
+  // boundaries of the narrow int64 formula for every size it handled, so
+  // any decomposition-keyed result (seeds, reduction order) is unchanged.
+  ThreadPool pool(1);
+  const std::int64_t cases[][2] = {
+      {1, 1}, {7, 3}, {10, 3}, {64, 8}, {1000, 7}, {12345, 13}, {1 << 20, 48},
+  };
+  for (const auto& [n, max_chunks] : cases) {
+    std::vector<std::array<std::int64_t, 3>> chunks;
+    pool.parallel_chunks(n, max_chunks,
+                         [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+                           chunks.push_back({c, b, e});
+                         });
+    const std::int64_t k = std::min(max_chunks, n);
+    ASSERT_EQ(chunks.size(), static_cast<std::size_t>(k));
+    for (const auto& [c, b, e] : chunks) {
+      EXPECT_EQ(b, c * n / k) << "n=" << n << " chunks=" << k;
+      EXPECT_EQ(e, (c + 1) * n / k) << "n=" << n << " chunks=" << k;
+    }
+  }
+}
+
+TEST(ThreadPool, HugeRangeChunksDoNotOverflow) {
+  // With n near 2^63, c * n overflows int64 for every c > 1; the widened
+  // split must still produce exact, contiguous, monotone boundaries.
+  ThreadPool pool(1);
+  const std::int64_t n = std::int64_t{6'000'000'000'000'000'000};
+  std::vector<std::array<std::int64_t, 3>> chunks;
+  pool.parallel_chunks(n, 4,
+                       [&](std::int64_t c, std::int64_t b, std::int64_t e) {
+                         chunks.push_back({c, b, e});
+                       });
+  ASSERT_EQ(chunks.size(), 4u);
+  std::sort(chunks.begin(), chunks.end());
+  const std::int64_t expect[] = {0, n / 4, n / 2, 3 * (n / 4), n};
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(chunks[static_cast<std::size_t>(c)][1], expect[c]);
+    EXPECT_EQ(chunks[static_cast<std::size_t>(c)][2], expect[c + 1]);
+  }
+}
+
 TEST(ThreadPool, ChunkCountNeverExceedsWorkCount) {
   ThreadPool pool(4);
   std::atomic<int> calls{0};
