@@ -156,8 +156,24 @@ void BM_IdealMvmMulti(benchmark::State& state) {
   auto programmed = model.program(bench_g(cfg));
   const std::int64_t n = state.range(0);
   Tensor vb = bench_vblock(cfg, n);
+  // Derive sustained arithmetic throughput from the kernel layer's own
+  // simd/flops counter (every gemm-family kernel self-reports 2*m*n*k)
+  // rather than re-deriving shapes here; the widest block is the
+  // representative number and lands in the run manifest as
+  // bench/simd/gflops alongside the active tier (simd/isa).
+  metrics::Counter& flops = metrics::counter("simd/flops");
+  const std::uint64_t f0 = flops.value();
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm_multi(vb));
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
   state.SetItemsProcessed(state.iterations() * n);
+  const double gflops =
+      dt.count() > 0.0
+          ? static_cast<double>(flops.value() - f0) / dt.count() * 1e-9
+          : 0.0;
+  state.counters["gflops"] = gflops;
+  if (n == 128) metrics::gauge("bench/simd/gflops").set(gflops);
 }
 BENCHMARK(BM_IdealMvmMulti)->Arg(1)->Arg(8)->Arg(32)->Arg(128);
 
@@ -264,6 +280,34 @@ void BM_SolverTiledMatmulWarmStart(benchmark::State& state) {
       .set(sweeps_per);
 }
 BENCHMARK(BM_SolverTiledMatmulWarmStart)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Sweep-schedule A/B: the identical solve under the red-black plane
+// schedule (Arg 0, the default) and the legacy chain-at-a-time schedule
+// (Arg 1). Sweep counts are bit-identical by construction; the time
+// difference is pure loop-nest / vectorization win, mirrored into the run
+// manifest as bench/solver/ordering_{redblack,lexicographic}_ms.
+void BM_CircuitSolverOrdering(benchmark::State& state) {
+  const auto cfg = bench_cfg(64);
+  xbar::SolverOptions opt;
+  opt.ordering = state.range(0) == 0 ? xbar::SweepOrdering::kRedBlack
+                                     : xbar::SweepOrdering::kLexicographic;
+  xbar::CircuitSolverModel model(cfg, opt);
+  auto programmed = model.program(bench_g(cfg));
+  Tensor v = bench_v(cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) benchmark::DoNotOptimize(programmed->mvm(v));
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  if (state.iterations() > 0)
+    metrics::gauge(state.range(0) == 0
+                       ? "bench/solver/ordering_redblack_ms"
+                       : "bench/solver/ordering_lexicographic_ms")
+        .set(dt.count() * 1e3 / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_CircuitSolverOrdering)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

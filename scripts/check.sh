@@ -14,9 +14,11 @@ cmake --preset release >/dev/null
 cmake --build --preset release -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-# Re-run the suite under each SIMD dispatch tier: the kernel layer promises
-# identical behavior under NVM_SIMD=scalar and (where the host supports it)
-# NVM_SIMD=avx2. Skips the avx2 leg cleanly on non-x86 hosts.
+# Re-run the suite under each compiled-in SIMD dispatch tier: the kernel
+# layer promises identical behavior under NVM_SIMD=scalar and every vector
+# tier the host can run (avx2 / avx512 on x86 with the cpuinfo flags, neon
+# on aarch64). Unsupported legs are skipped cleanly, so the same script
+# works on any host.
 echo "== tier-1: ctest under NVM_SIMD=scalar =="
 NVM_SIMD=scalar ctest --test-dir build --output-on-failure -j "$JOBS"
 if grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null; then
@@ -24,6 +26,21 @@ if grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null; then
   NVM_SIMD=avx2 ctest --test-dir build --output-on-failure -j "$JOBS"
 else
   echo "== tier-1: NVM_SIMD=avx2 leg skipped (host has no AVX2) =="
+fi
+if grep -q '\bavx512f\b' /proc/cpuinfo 2>/dev/null \
+    && grep -q '\bavx512bw\b' /proc/cpuinfo 2>/dev/null \
+    && grep -q '\bavx512dq\b' /proc/cpuinfo 2>/dev/null \
+    && grep -q '\bavx512vl\b' /proc/cpuinfo 2>/dev/null; then
+  echo "== tier-1: ctest under NVM_SIMD=avx512 =="
+  NVM_SIMD=avx512 ctest --test-dir build --output-on-failure -j "$JOBS"
+else
+  echo "== tier-1: NVM_SIMD=avx512 leg skipped (host lacks AVX-512 F/BW/DQ/VL) =="
+fi
+if [[ "$(uname -m)" == "aarch64" || "$(uname -m)" == "arm64" ]]; then
+  echo "== tier-1: ctest under NVM_SIMD=neon =="
+  NVM_SIMD=neon ctest --test-dir build --output-on-failure -j "$JOBS"
+else
+  echo "== tier-1: NVM_SIMD=neon leg skipped (not an AArch64 host) =="
 fi
 
 echo "== tier-1: observability smoke (quickstart manifest) =="

@@ -2,28 +2,34 @@
 //
 // Every hot inner loop of the analog stack — tiled-GEMM shift-add, ideal
 // and fast-noise column evaluation, the GENIEx MLP forward, activation /
-// ADC quantization — runs over the fixed set of kernels below. Two
-// implementations exist per kernel: a hand-written AVX2/FMA one (compiled
-// in its own translation unit with per-file arch flags, see
-// NVM_ENABLE_AVX2) and a scalar fallback. The active one is chosen once
-// per process at first use: cpuid decides, and NVM_SIMD=avx2|scalar
-// overrides.
+// ADC quantization — runs over the fixed set of kernels below. Up to four
+// implementations exist per kernel: hand-written AVX2/FMA, AVX-512 and
+// NEON tiers (each compiled in its own translation unit with per-file
+// arch flags, see NVM_ENABLE_AVX2 / NVM_ENABLE_AVX512 / NVM_ENABLE_NEON)
+// plus a scalar fallback. The active tier is chosen once per process at
+// first use: cpuid + OS state (xgetbv) decide, and
+// NVM_SIMD=scalar|avx2|avx512|neon overrides.
 //
-// Determinism contract (DESIGN.md §11):
+// Determinism contract (DESIGN.md §11, §13):
 //   * Each kernel uses ONE deterministic accumulation tree. Results are
 //     bit-identical across NVM_THREADS, across repeated runs of the same
 //     build, and across calls with different blocking of the same data.
 //   * Kernels marked [exact] below produce bit-identical results under
-//     NVM_SIMD=scalar and =avx2: every lane performs the same float ops in
-//     the same order as the scalar code (the whole build uses
+//     every NVM_SIMD tier: every lane performs the same float ops in the
+//     same order as the scalar code (the whole build uses
 //     -ffp-contract=off so the compiler cannot fuse the scalar side).
-//   * Kernels marked [~ulp] use FMA on AVX2 but plain mul+add in the
-//     scalar fallback; per element they differ by at most a few ULP of the
-//     running magnitude (tests/test_simd.cpp asserts the bound).
+//   * Kernels marked [~ulp] use FMA in the vector bodies but plain
+//     mul+add in the scalar fallback; per element they differ by at most
+//     a few ULP of the running magnitude (tests/test_simd.cpp asserts the
+//     bound pairwise across all usable tiers).
+//   * Integer kernels (quantize_to_i8/i16, gemm_at_i8_i32acc,
+//     adc_shift_add_i32) are [exact]: integer arithmetic has no rounding,
+//     and their float epilogues mirror the scalar op sequence.
 //
 // Reduction trees:
 //   * dot: 8 strided lanes (lane l accumulates elements l, l+8, ...)
-//     reduced as ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+//     reduced as ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)). Wider tiers fold
+//     their extra lanes pairwise onto the 8-lane tree (still [~ulp]).
 //   * gemm*: per output element, sequential accumulation over k (the
 //     microtile blocks rows/columns, never the reduction).
 //   * gemm_f64acc: sequential double accumulation over the inner index —
@@ -37,21 +43,35 @@
 
 namespace nvm::simd {
 
-enum class Isa { Scalar = 0, Avx2 = 1 };
+enum class Isa { Scalar = 0, Avx2 = 1, Avx512 = 2, Neon = 3 };
 
 /// The instruction set all kernels dispatch to. Resolved once: NVM_SIMD
 /// env override if set (an unusable request logs a warning and falls
-/// back), else AVX2 when both compiled in and supported by this CPU.
+/// back to the best safe tier), else the widest tier that is compiled in,
+/// reported by cpuid, AND enabled by the OS (XCR0 via xgetbv — feature
+/// bits alone do not prove the kernel saves ZMM/YMM state).
 Isa active_isa();
 const char* isa_name(Isa isa);
 
 /// True when the AVX2 kernel TU was compiled in (NVM_ENABLE_AVX2).
 bool avx2_compiled();
-/// True when this CPU supports AVX2+FMA.
+/// True when this CPU supports AVX2+FMA and the OS enables YMM state.
 bool avx2_supported();
+/// True when the AVX-512 kernel TU was compiled in (NVM_ENABLE_AVX512).
+bool avx512_compiled();
+/// True when this CPU supports AVX-512 F/BW/DQ/VL and the OS enables
+/// ZMM + opmask state (XCR0 bits 1,2,5,6,7).
+bool avx512_supported();
+/// True when the NEON kernel TU was compiled in (NVM_ENABLE_NEON).
+bool neon_compiled();
+/// True on AArch64 (Advanced SIMD is baseline there).
+bool neon_supported();
+/// True when `isa` is both compiled in and usable on this machine.
+bool isa_usable(Isa isa);
 
 /// Test-only: forces the dispatch while alive (restores on destruction).
-/// Requesting Avx2 on a scalar-only build/CPU throws CheckError.
+/// Requesting a tier that is not usable on this build/CPU throws
+/// CheckError.
 class ScopedIsaForTests {
  public:
   explicit ScopedIsaForTests(Isa isa);
@@ -68,7 +88,7 @@ class ScopedIsaForTests {
 /// [~ulp] Dot product with the fixed 8-lane reduction tree.
 float dot(const float* a, const float* b, std::int64_t n);
 
-/// [~ulp] y[i] += alpha * x[i] (fused on AVX2).
+/// [~ulp] y[i] += alpha * x[i] (fused in the vector tiers).
 void axpy(float* y, const float* x, float alpha, std::int64_t n);
 
 /// [exact] y[i] += alpha * x[i] with an UNfused multiply-add — matches
@@ -86,8 +106,9 @@ float tanh_fast(float x);
 
 // GEMM micro-kernels ------------------------------------------------------
 // All operate on row-major storage with explicit leading dimensions and
-// ACCUMULATE into C (callers zero C for a plain product). The AVX2
-// implementation blocks into 4x8 microtiles of broadcast-FMA.
+// ACCUMULATE into C (callers zero C for a plain product). The vector
+// implementations block into 4xW microtiles of broadcast-FMA (W = the
+// tier's float lane count).
 
 /// [~ulp] C(m x n, ldc) += A(m x k, lda) * B(k x n, ldb).
 void gemm_accum(float* c, const float* a, const float* b, std::int64_t m,
@@ -108,8 +129,9 @@ void gemm_bt_accum(float* c, const float* a, const float* b, std::int64_t m,
 /// [exact] out(m x n, ldo) = A(m x k, lda) * V(k x n, ldv) accumulated in
 /// double per output element, sequential over k — bit-identical to the
 /// scalar loop `for k: acc += double(a) * v;` and therefore to
-/// nvm::matvec per column. The analog models use this so crossbar outputs
-/// do not depend on NVM_SIMD.
+/// nvm::matvec per column (double FMA of exact float*float products
+/// rounds identically to mul-then-add). The analog models use this so
+/// crossbar outputs do not depend on NVM_SIMD.
 void gemm_f64acc(float* out, const float* a, const float* v, std::int64_t m,
                  std::int64_t n, std::int64_t k, std::int64_t lda,
                  std::int64_t ldv, std::int64_t ldo);
@@ -128,6 +150,44 @@ void quantize_affine(float* out, const float* x, std::int64_t n, float scale,
 void adc_shift_add(float* acc, const float* cur, const float* baseline,
                    std::int64_t n, float full_scale, float steps, float shift);
 
+// Integer bit-slice kernels (DESIGN.md §13) -------------------------------
+// The tiled GEMM's operands are small non-negative integers (weight
+// slices <= 2^slice_bits-1, DAC chunks <= 2^stream_bits-1), so the
+// digital path can run them through narrow integer arithmetic. The float
+// twins of these kernels are bit-identical on the same integer-valued
+// inputs as long as every dot product stays below 2^24 (float adds of
+// integers are exact there) — tests/test_simd.cpp pins that equivalence.
+
+/// [exact] out[i] = int8(round(clamp(x[i], 0, scale) / scale * qmax)) —
+/// the i8 twin of quantize_affine. Requires 0 < qmax <= 127.
+void quantize_to_i8(std::int8_t* out, const float* x, std::int64_t n,
+                    float scale, float qmax);
+
+/// [exact] out[i] = int16(round(clamp(x[i], 0, scale) / scale * qmax)) —
+/// the i16 twin of quantize_affine. Requires 0 < qmax <= 32767.
+void quantize_to_i16(std::int16_t* out, const float* x, std::int64_t n,
+                     float scale, float qmax);
+
+/// [exact] C(m x n, ldc) += A^T * B in int32, where A is (k x m, lda) and
+/// B is (k x n, ldb), both int8. Accumulation is exact integer
+/// arithmetic, so the result is independent of tier and blocking. Callers
+/// must keep |a|*|b|*k below INT32_MAX (the bit-slice path guarantees
+/// <= 127*127*k).
+void gemm_at_i8_i32acc(std::int32_t* c, const std::int8_t* a,
+                       const std::int8_t* b, std::int64_t m, std::int64_t n,
+                       std::int64_t k, std::int64_t lda, std::int64_t ldb,
+                       std::int64_t ldc);
+
+/// [exact] Fused integer ADC shift-add:
+///   cur    = baseline[i] + dot_unit * float(dot[i])   (unfused mul+add)
+///   acc[i] += shift * (adc(cur) - baseline[i])
+/// with adc() the same mid-tread quantizer as adc_shift_add. This is the
+/// digital epilogue of the int8 bit-slice pipeline; bit-identical to
+/// composing the float ops on float(dot[i]).
+void adc_shift_add_i32(float* acc, const std::int32_t* dot,
+                       const float* baseline, std::int64_t n, float dot_unit,
+                       float full_scale, float steps, float shift);
+
 // Workspace ---------------------------------------------------------------
 
 /// Reusable per-thread scratch for hot paths that would otherwise heap-
@@ -145,10 +205,17 @@ class Workspace {
   std::span<float> floats(int slot, std::size_t n);
   /// Same, for doubles (slots are independent of the float slots).
   std::span<double> doubles(int slot, std::size_t n);
+  /// Same, for the integer widths the bit-slice path stages data in.
+  std::span<std::int8_t> i8s(int slot, std::size_t n);
+  std::span<std::int16_t> i16s(int slot, std::size_t n);
+  std::span<std::int32_t> i32s(int slot, std::size_t n);
 
  private:
   std::vector<float> f_[kSlots];
   std::vector<double> d_[kSlots];
+  std::vector<std::int8_t> i8_[kSlots];
+  std::vector<std::int16_t> i16_[kSlots];
+  std::vector<std::int32_t> i32_[kSlots];
 };
 
 }  // namespace nvm::simd

@@ -295,6 +295,147 @@ void adc_shift_add_avx2(float* acc, const float* cur, const float* baseline,
   }
 }
 
+namespace {
+
+/// Rounded quantization codes for 8 floats, as i32 (codes are integral, so
+/// cvtps_epi32's round-to-nearest-even cannot move them).
+inline __m256i quantize_codes8(const float* x, __m256 vs, __m256 vq) {
+  const __m256 clipped =
+      _mm256_min_ps(_mm256_max_ps(_mm256_loadu_ps(x), _mm256_setzero_ps()),
+                    vs);
+  const __m256 t = _mm256_mul_ps(_mm256_div_ps(clipped, vs), vq);
+  return _mm256_cvtps_epi32(round_nonneg(t));
+}
+
+}  // namespace
+
+void quantize_to_i8_avx2(std::int8_t* out, const float* x, std::int64_t n,
+                         float scale, float qmax) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  const __m256 vq = _mm256_set1_ps(qmax);
+  const std::int64_t n8 = n & ~std::int64_t{7};
+  alignas(32) std::int32_t tmp[8];
+  for (std::int64_t i = 0; i < n8; i += 8) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp),
+                       quantize_codes8(x + i, vs, vq));
+    for (int l = 0; l < 8; ++l)
+      out[i + l] = static_cast<std::int8_t>(tmp[l]);
+  }
+  for (std::int64_t i = n8; i < n; ++i) {
+    const float clipped = std::clamp(x[i], 0.0f, scale);
+    out[i] = static_cast<std::int8_t>(std::round(clipped / scale * qmax));
+  }
+}
+
+void quantize_to_i16_avx2(std::int16_t* out, const float* x, std::int64_t n,
+                          float scale, float qmax) {
+  const __m256 vs = _mm256_set1_ps(scale);
+  const __m256 vq = _mm256_set1_ps(qmax);
+  const std::int64_t n8 = n & ~std::int64_t{7};
+  alignas(32) std::int32_t tmp[8];
+  for (std::int64_t i = 0; i < n8; i += 8) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp),
+                       quantize_codes8(x + i, vs, vq));
+    for (int l = 0; l < 8; ++l)
+      out[i + l] = static_cast<std::int16_t>(tmp[l]);
+  }
+  for (std::int64_t i = n8; i < n; ++i) {
+    const float clipped = std::clamp(x[i], 0.0f, scale);
+    out[i] = static_cast<std::int16_t>(std::round(clipped / scale * qmax));
+  }
+}
+
+void gemm_at_i8_i32acc_avx2(std::int32_t* c, const std::int8_t* a,
+                            const std::int8_t* b, std::int64_t m,
+                            std::int64_t n, std::int64_t k, std::int64_t lda,
+                            std::int64_t ldb, std::int64_t ldc) {
+  // 4x16 microtiles: per k-step the 16 int8 B values widen to two i32
+  // vectors once, then feed four broadcast multiply-accumulate chains.
+  // Integer arithmetic is exact, so blocking cannot change the result.
+  const std::int64_t n16 = n & ~std::int64_t{15};
+  const std::int64_t m4 = m & ~std::int64_t{3};
+  for (std::int64_t j0 = 0; j0 < n16; j0 += 16) {
+    for (std::int64_t i0 = 0; i0 < m; i0 += 4) {
+      const std::int64_t in = (i0 < m4) ? 4 : m - i0;
+      __m256i acc[4][2];
+      for (std::int64_t r = 0; r < in; ++r) {
+        acc[r][0] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(c + (i0 + r) * ldc + j0));
+        acc[r][1] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(c + (i0 + r) * ldc + j0 + 8));
+      }
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        const __m128i bv = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(b + kk * ldb + j0));
+        const __m256i b_lo = _mm256_cvtepi8_epi32(bv);
+        const __m256i b_hi = _mm256_cvtepi8_epi32(_mm_srli_si128(bv, 8));
+        const std::int8_t* arow = a + kk * lda + i0;
+        for (std::int64_t r = 0; r < in; ++r) {
+          const std::int32_t aki = arow[r];
+          if (aki == 0) continue;
+          const __m256i va = _mm256_set1_epi32(aki);
+          acc[r][0] =
+              _mm256_add_epi32(acc[r][0], _mm256_mullo_epi32(va, b_lo));
+          acc[r][1] =
+              _mm256_add_epi32(acc[r][1], _mm256_mullo_epi32(va, b_hi));
+        }
+      }
+      for (std::int64_t r = 0; r < in; ++r) {
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(c + (i0 + r) * ldc + j0), acc[r][0]);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i*>(c + (i0 + r) * ldc + j0 + 8),
+            acc[r][1]);
+      }
+    }
+  }
+  if (n16 < n) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const std::int8_t* arow = a + kk * lda;
+      const std::int8_t* brow = b + kk * ldb;
+      for (std::int64_t i = 0; i < m; ++i) {
+        const std::int32_t aki = arow[i];
+        if (aki == 0) continue;
+        std::int32_t* crow = c + i * ldc;
+        for (std::int64_t j = n16; j < n; ++j) crow[j] += aki * brow[j];
+      }
+    }
+  }
+}
+
+void adc_shift_add_i32_avx2(float* acc, const std::int32_t* dot,
+                            const float* baseline, std::int64_t n,
+                            float dot_unit, float full_scale, float steps,
+                            float shift) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 vdu = _mm256_set1_ps(dot_unit);
+  const __m256 vfs = _mm256_set1_ps(full_scale);
+  const __m256 vsteps = _mm256_set1_ps(steps);
+  const __m256 vshift = _mm256_set1_ps(shift);
+  const std::int64_t n8 = n & ~std::int64_t{7};
+  for (std::int64_t i = 0; i < n8; i += 8) {
+    const __m256 vd = _mm256_cvtepi32_ps(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dot + i)));
+    const __m256 vb = _mm256_loadu_ps(baseline + i);
+    // Unfused mul+add to match the scalar reference bit-for-bit.
+    const __m256 cur = _mm256_add_ps(vb, _mm256_mul_ps(vdu, vd));
+    const __m256 clamped = _mm256_min_ps(_mm256_max_ps(cur, zero), vfs);
+    const __m256 r =
+        round_nonneg(_mm256_mul_ps(_mm256_div_ps(clamped, vfs), vsteps));
+    const __m256 q = _mm256_div_ps(_mm256_mul_ps(r, vfs), vsteps);
+    const __m256 d = _mm256_sub_ps(q, vb);
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i),
+                                            _mm256_mul_ps(vshift, d)));
+  }
+  for (std::int64_t i = n8; i < n; ++i) {
+    const float cur = baseline[i] + dot_unit * static_cast<float>(dot[i]);
+    const float clamped = std::clamp(cur, 0.0f, full_scale);
+    const float q = std::round(clamped / full_scale * steps) * full_scale /
+                    steps;
+    acc[i] += shift * (q - baseline[i]);
+  }
+}
+
 }  // namespace nvm::simd::detail
 
 #else  // !NVM_SIMD_AVX2_TU — linker stubs, unreachable behind the dispatch.
@@ -341,6 +482,24 @@ void quantize_affine_avx2(float*, const float*, std::int64_t, float, float) {
 }
 void adc_shift_add_avx2(float*, const float*, const float*, std::int64_t,
                         float, float, float) {
+  stub_fail();
+}
+void quantize_to_i8_avx2(std::int8_t*, const float*, std::int64_t, float,
+                         float) {
+  stub_fail();
+}
+void quantize_to_i16_avx2(std::int16_t*, const float*, std::int64_t, float,
+                          float) {
+  stub_fail();
+}
+void gemm_at_i8_i32acc_avx2(std::int32_t*, const std::int8_t*,
+                            const std::int8_t*, std::int64_t, std::int64_t,
+                            std::int64_t, std::int64_t, std::int64_t,
+                            std::int64_t) {
+  stub_fail();
+}
+void adc_shift_add_i32_avx2(float*, const std::int32_t*, const float*,
+                            std::int64_t, float, float, float, float) {
   stub_fail();
 }
 

@@ -33,6 +33,18 @@ Tensor quantize_activations(const Tensor& x, float scale, std::int64_t bits) {
   return out;
 }
 
+std::vector<std::int16_t> quantize_activations_i16(const Tensor& x,
+                                                   float scale,
+                                                   std::int64_t bits) {
+  NVM_CHECK(bits >= 1 && bits <= 15, "activation bits=" << bits);
+  NVM_CHECK_GT(scale, 0.0f);
+  const float qmax = static_cast<float>((std::int64_t{1} << bits) - 1);
+  std::vector<std::int16_t> out(x.numel());
+  simd::quantize_to_i16(out.data(), x.raw(),
+                        static_cast<std::int64_t>(x.numel()), scale, qmax);
+  return out;
+}
+
 float adc_quantize(float current, float full_scale, std::int64_t bits) {
   NVM_CHECK(bits >= 2 && bits <= 16, "adc bits=" << bits);
   NVM_CHECK_GT(full_scale, 0.0f);

@@ -39,9 +39,14 @@ void solve_tridiagonal(std::vector<double>& diag, std::vector<double>& rhs,
 /// instance lives per thread (see tls_workspace), which makes concurrent
 /// mvm() calls on the same SolverProgrammed allocation-free and race-free.
 struct SolverWorkspace {
-  std::vector<double> geff;             // secant conductances
-  std::vector<double> vr, vc;           // row/column node voltages
-  std::vector<double> diag, rhs, sol;   // tridiagonal scratch
+  std::vector<double> geff;            // secant conductances
+  std::vector<double> vr, vc;          // row/column node voltages
+  std::vector<double> diag, rhs, sol;  // per-chain tridiagonal scratch
+  // Batched (red-black) scratch: all chains of one plane eliminated in
+  // lockstep. Row plane uses the transposed layout [j*rows + i] so the
+  // inner loop over chains i is contiguous; the column plane's natural
+  // layout [i*cols + j] already has contiguous chains j.
+  std::vector<double> diagb, rhsb, solb;
 };
 
 /// A previous solve's converged node voltages, used to warm-start a
@@ -99,12 +104,56 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
     std::copy(seed->vc.begin(), seed->vc.end(), ws.vc.begin());
     static metrics::Counter& m_warm = metrics::counter("solver/warm_starts");
     m_warm.add();
+  } else if (opt.coarse_start) {
+    // Coarse-grid analytic cold seed. Row plane: closed-form IR-drop
+    // attenuation v[i] / (1 + R_row(j) * Growsum_i), with R_row averaged
+    // over coarse column blocks (one divide per block instead of per
+    // cell). Column plane: one linearized flow reconstruction — device
+    // currents approximated as g * vr, then the column profile follows
+    // exactly from cumulative sums (the wires are linear). Costs about
+    // half a sweep; replaces the flat broadcast whose error is the entire
+    // IR drop.
+    static metrics::Counter& m_coarse =
+        metrics::counter("solver/coarse_starts");
+    m_coarse.add();
+    constexpr std::int64_t kBlock = 8;
+    ws.diag.resize(static_cast<std::size_t>(rows));  // per-row g sums
+    for (std::int64_t i = 0; i < rows; ++i) {
+      double s = 0.0;
+      for (std::int64_t j = 0; j < cols; ++j) s += g[idx(i, j)];
+      ws.diag[static_cast<std::size_t>(i)] = s;
+    }
+    for (std::int64_t i = 0; i < rows; ++i) {
+      const double growsum = ws.diag[static_cast<std::size_t>(i)];
+      for (std::int64_t j0 = 0; j0 < cols; j0 += kBlock) {
+        const std::int64_t j1 = std::min(cols, j0 + kBlock);
+        const double jc = 0.5 * static_cast<double>(j0 + j1 - 1);
+        const double atten =
+            1.0 / (1.0 + (cfg.r_source + cfg.r_wire * jc) * growsum);
+        const double vij = v[i] * atten;
+        for (std::int64_t j = j0; j < j1; ++j) ws.vr[idx(i, j)] = vij;
+      }
+    }
+    // Linearized currents into geff (recomputed at sweep start anyway).
+    for (std::size_t k = 0; k < cells; ++k) ws.geff[k] = g[k] * ws.vr[k];
+    for (std::int64_t j = 0; j < cols; ++j) {
+      double below = 0.0;
+      for (std::int64_t i = 0; i < rows; ++i) below += ws.geff[idx(i, j)];
+      double vc = below * cfg.r_sink;
+      ws.vc[idx(rows - 1, j)] = vc;
+      for (std::int64_t i = rows - 2; i >= 0; --i) {
+        below -= ws.geff[idx(i + 1, j)];
+        vc += below * cfg.r_wire;
+        ws.vc[idx(i, j)] = vc;
+      }
+    }
   } else {
     for (std::int64_t i = 0; i < rows; ++i)
       for (std::int64_t j = 0; j < cols; ++j) ws.vr[idx(i, j)] = v[i];
     std::fill(ws.vc.begin(), ws.vc.end(), 0.0);
   }
 
+  const bool batched = opt.ordering == SweepOrdering::kRedBlack;
   stats = SolveStats{};
   int sweep = 0;
   for (; sweep < opt.max_sweeps; ++sweep) {
@@ -112,51 +161,164 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
     for (std::size_t k = 0; k < cells; ++k)
       ws.geff[k] = device_secant_conductance(g[k], ws.vr[k] - ws.vc[k], b);
 
-    // Row chains: unknowns vr[i][*]; vc held fixed.
-    ws.diag.assign(static_cast<std::size_t>(cols), 0.0);
-    ws.rhs.assign(static_cast<std::size_t>(cols), 0.0);
-    ws.sol.assign(static_cast<std::size_t>(cols), 0.0);
-    for (std::int64_t i = 0; i < rows; ++i) {
-      for (std::int64_t j = 0; j < cols; ++j) {
-        const std::size_t k = idx(i, j);
-        double d = ws.geff[k];
-        double r = ws.geff[k] * ws.vc[k];
-        if (j == 0) {
-          d += gs;
-          r += gs * v[i];
-        }
-        if (j > 0) d += gw;
-        if (j + 1 < cols) d += gw;
-        ws.diag[static_cast<std::size_t>(j)] = d;
-        ws.rhs[static_cast<std::size_t>(j)] = r;
-      }
-      solve_tridiagonal(ws.diag, ws.rhs, gw, ws.sol);
-      for (std::int64_t j = 0; j < cols; ++j)
-        ws.vr[idx(i, j)] = ws.sol[static_cast<std::size_t>(j)];
-    }
-
-    // Column chains: unknowns vc[*][j]; vr held fixed.
     double max_delta = 0.0;
-    ws.diag.assign(static_cast<std::size_t>(rows), 0.0);
-    ws.rhs.assign(static_cast<std::size_t>(rows), 0.0);
-    ws.sol.assign(static_cast<std::size_t>(rows), 0.0);
-    for (std::int64_t j = 0; j < cols; ++j) {
+    if (batched) {
+      // Red plane — all row chains in lockstep. Unknowns vr[i][*] with vc
+      // held fixed; chains i are independent, so the Thomas elimination
+      // runs with j as the recurrence index and i as the contiguous inner
+      // loop (transposed scratch [j*rows + i]). Each chain performs the
+      // exact op sequence of solve_tridiagonal, so results are
+      // bit-identical to the lexicographic schedule.
+      ws.diagb.resize(cells);
+      ws.rhsb.resize(cells);
+      ws.solb.resize(cells);
+      double* diagb = ws.diagb.data();
+      double* rhsb = ws.rhsb.data();
+      double* solb = ws.solb.data();
       for (std::int64_t i = 0; i < rows; ++i) {
-        const std::size_t k = idx(i, j);
-        double d = ws.geff[k];
-        double r = ws.geff[k] * ws.vr[k];
-        if (i > 0) d += gw;
-        if (i + 1 < rows) d += gw;
-        else d += gk;  // bottom node ties to ground through the sink
-        ws.diag[static_cast<std::size_t>(i)] = d;
-        ws.rhs[static_cast<std::size_t>(i)] = r;
+        for (std::int64_t j = 0; j < cols; ++j) {
+          const std::size_t k = idx(i, j);
+          double d = ws.geff[k];
+          double r = ws.geff[k] * ws.vc[k];
+          if (j == 0) {
+            d += gs;
+            r += gs * v[i];
+          }
+          if (j > 0) d += gw;
+          if (j + 1 < cols) d += gw;
+          const std::size_t kt = static_cast<std::size_t>(j * rows + i);
+          diagb[kt] = d;
+          rhsb[kt] = r;
+        }
       }
-      solve_tridiagonal(ws.diag, ws.rhs, gw, ws.sol);
+      for (std::int64_t j = 1; j < cols; ++j) {
+        double* dp = diagb + j * rows;
+        double* rp = rhsb + j * rows;
+        const double* dm = diagb + (j - 1) * rows;
+        const double* rm = rhsb + (j - 1) * rows;
+        for (std::int64_t i = 0; i < rows; ++i) {
+          const double m = -gw / dm[i];
+          dp[i] -= m * -gw;
+          rp[i] -= m * rm[i];
+        }
+      }
+      {
+        const double* dp = diagb + (cols - 1) * rows;
+        const double* rp = rhsb + (cols - 1) * rows;
+        double* sp = solb + (cols - 1) * rows;
+        for (std::int64_t i = 0; i < rows; ++i) sp[i] = rp[i] / dp[i];
+      }
+      for (std::int64_t j = cols - 1; j-- > 0;) {
+        const double* dp = diagb + j * rows;
+        const double* rp = rhsb + j * rows;
+        const double* sn = solb + (j + 1) * rows;
+        double* sp = solb + j * rows;
+        for (std::int64_t i = 0; i < rows; ++i)
+          sp[i] = (rp[i] + gw * sn[i]) / dp[i];
+      }
+      for (std::int64_t i = 0; i < rows; ++i)
+        for (std::int64_t j = 0; j < cols; ++j)
+          ws.vr[idx(i, j)] = solb[static_cast<std::size_t>(j * rows + i)];
+
+      // Black plane — all column chains in lockstep. Unknowns vc[*][j]
+      // with vr held fixed; the natural [i*cols + j] layout already has
+      // the chain index j contiguous. Back-substitution writes vc in
+      // place (row i+1 is final before row i needs it), folding the
+      // convergence check into the update loop — no separate residual
+      // pass.
       for (std::int64_t i = 0; i < rows; ++i) {
-        const std::size_t k = idx(i, j);
-        max_delta = std::max(
-            max_delta, std::abs(ws.sol[static_cast<std::size_t>(i)] - ws.vc[k]));
-        ws.vc[k] = ws.sol[static_cast<std::size_t>(i)];
+        double* dp = diagb + i * cols;
+        double* rp = rhsb + i * cols;
+        for (std::int64_t j = 0; j < cols; ++j) {
+          const std::size_t k = idx(i, j);
+          double d = ws.geff[k];
+          if (i > 0) d += gw;
+          if (i + 1 < rows) d += gw;
+          else d += gk;  // bottom node ties to ground through the sink
+          dp[j] = d;
+          rp[j] = ws.geff[k] * ws.vr[k];
+        }
+      }
+      for (std::int64_t i = 1; i < rows; ++i) {
+        double* dp = diagb + i * cols;
+        double* rp = rhsb + i * cols;
+        const double* dm = diagb + (i - 1) * cols;
+        const double* rm = rhsb + (i - 1) * cols;
+        for (std::int64_t j = 0; j < cols; ++j) {
+          const double m = -gw / dm[j];
+          dp[j] -= m * -gw;
+          rp[j] -= m * rm[j];
+        }
+      }
+      {
+        const std::size_t off = idx(rows - 1, 0);
+        const double* dp = diagb + off;
+        const double* rp = rhsb + off;
+        double* vcp = ws.vc.data() + off;
+        for (std::int64_t j = 0; j < cols; ++j) {
+          const double s = rp[j] / dp[j];
+          max_delta = std::max(max_delta, std::abs(s - vcp[j]));
+          vcp[j] = s;
+        }
+      }
+      for (std::int64_t i = rows - 1; i-- > 0;) {
+        const double* dp = diagb + i * cols;
+        const double* rp = rhsb + i * cols;
+        const double* vn = ws.vc.data() + (i + 1) * cols;
+        double* vcp = ws.vc.data() + i * cols;
+        for (std::int64_t j = 0; j < cols; ++j) {
+          const double s = (rp[j] + gw * vn[j]) / dp[j];
+          max_delta = std::max(max_delta, std::abs(s - vcp[j]));
+          vcp[j] = s;
+        }
+      }
+    } else {
+      // Row chains: unknowns vr[i][*]; vc held fixed.
+      ws.diag.assign(static_cast<std::size_t>(cols), 0.0);
+      ws.rhs.assign(static_cast<std::size_t>(cols), 0.0);
+      ws.sol.assign(static_cast<std::size_t>(cols), 0.0);
+      for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t j = 0; j < cols; ++j) {
+          const std::size_t k = idx(i, j);
+          double d = ws.geff[k];
+          double r = ws.geff[k] * ws.vc[k];
+          if (j == 0) {
+            d += gs;
+            r += gs * v[i];
+          }
+          if (j > 0) d += gw;
+          if (j + 1 < cols) d += gw;
+          ws.diag[static_cast<std::size_t>(j)] = d;
+          ws.rhs[static_cast<std::size_t>(j)] = r;
+        }
+        solve_tridiagonal(ws.diag, ws.rhs, gw, ws.sol);
+        for (std::int64_t j = 0; j < cols; ++j)
+          ws.vr[idx(i, j)] = ws.sol[static_cast<std::size_t>(j)];
+      }
+
+      // Column chains: unknowns vc[*][j]; vr held fixed.
+      ws.diag.assign(static_cast<std::size_t>(rows), 0.0);
+      ws.rhs.assign(static_cast<std::size_t>(rows), 0.0);
+      ws.sol.assign(static_cast<std::size_t>(rows), 0.0);
+      for (std::int64_t j = 0; j < cols; ++j) {
+        for (std::int64_t i = 0; i < rows; ++i) {
+          const std::size_t k = idx(i, j);
+          double d = ws.geff[k];
+          double r = ws.geff[k] * ws.vr[k];
+          if (i > 0) d += gw;
+          if (i + 1 < rows) d += gw;
+          else d += gk;  // bottom node ties to ground through the sink
+          ws.diag[static_cast<std::size_t>(i)] = d;
+          ws.rhs[static_cast<std::size_t>(i)] = r;
+        }
+        solve_tridiagonal(ws.diag, ws.rhs, gw, ws.sol);
+        for (std::int64_t i = 0; i < rows; ++i) {
+          const std::size_t k = idx(i, j);
+          max_delta = std::max(
+              max_delta,
+              std::abs(ws.sol[static_cast<std::size_t>(i)] - ws.vc[k]));
+          ws.vc[k] = ws.sol[static_cast<std::size_t>(i)];
+        }
       }
     }
 
@@ -275,6 +437,8 @@ class SolverStream final : public XbarStream {
             for (std::int64_t j = 0; j < cols; ++j)
               scratch_.vr[static_cast<std::size_t>(i * cols + j)] = v[i];
         }
+        refine_seed(v, rows, cols);
+        refine_seed(v, rows, cols);
         refine_seed(v, rows, cols);
         refine_seed(v, rows, cols);
         init = &scratch_;

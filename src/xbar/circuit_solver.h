@@ -27,6 +27,21 @@
 
 namespace nvm::xbar {
 
+/// Update schedule for the block line relaxation.
+enum class SweepOrdering {
+  /// Red-black plane schedule: the row chains form one independent plane
+  /// ("red") and the column chains the other ("black"), so each half-sweep
+  /// runs ALL of its chains' Thomas recurrences in lockstep with the chain
+  /// index as the contiguous inner loop — the elimination vectorizes
+  /// across chains. Within a plane the chains do not couple, so the
+  /// iterates (and results) are bit-identical to kLexicographic; only the
+  /// loop nest order changes.
+  kRedBlack,
+  /// Legacy chain-at-a-time schedule (rows then columns, one tridiagonal
+  /// solve at a time). Kept for A/B benchmarking.
+  kLexicographic,
+};
+
 struct SolverOptions {
   /// Convergence threshold on node-voltage movement, relative to v_read.
   double tol = 1e-9;
@@ -39,6 +54,15 @@ struct SolverOptions {
   /// entry points (mvm / mvm_multi) are unaffected. False restores
   /// stateless streams for A/B comparisons.
   bool warm_start_streams = true;
+  /// Half-sweep schedule; kRedBlack is bit-identical and faster.
+  SweepOrdering ordering = SweepOrdering::kRedBlack;
+  /// Seed cold solves (no warm-start seed available) with a coarse-grid
+  /// analytic guess instead of the flat broadcast: per-row IR-drop
+  /// attenuation averaged over coarse column blocks for the row plane,
+  /// plus one linearized current-flow reconstruction for the column plane.
+  /// Costs about half a sweep, typically saves one or two full sweeps.
+  /// Counted under solver/coarse_starts.
+  bool coarse_start = true;
 };
 
 /// Outcome of one nodal solve. A solve that exhausts max_sweeps or

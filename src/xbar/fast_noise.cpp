@@ -58,6 +58,71 @@ class FastNoiseProgrammed final : public ProgrammedXbar {
     return mvm_multi_active(v_block, cfg_.rows, cfg_.cols);
   }
 
+  Tensor mvm_chunks_active(const ChunkBlock& cb, std::int64_t rows_used,
+                           std::int64_t cols_used) override {
+    NVM_CHECK_EQ(cb.rows, cfg_.rows);
+    const std::int64_t n = cb.n;
+    if (n == 0) return Tensor();
+    count_mvm_multi_columns(n);
+    const double b = cfg_.device_nonlin;
+    Tensor out({cfg_.cols, n});
+    const float* pgf = g_.raw();
+    thread_local simd::Workspace ws;
+    std::span<double> acc = ws.doubles(0, static_cast<std::size_t>(n));
+    // Integer DAC codes come from an alphabet of <= 128 values, so each
+    // cell's contribution is one of <= row_max+1 doubles: precompute them
+    // per (cell, code) and gather. Every table entry is produced by the
+    // exact op sequence the voltage path runs per sample (v = v_unit *
+    // float(code) as simd::scale computes it, then v*atten, *col_atten,
+    // the same sinhc branch), and the branch choice keys off the same
+    // vmax (v_unit*row_max is the row's max voltage by monotonicity), so
+    // this is bit-identical to mvm_multi_active on materialized volts.
+    double tab[129];
+    for (std::int64_t j = 0; j < cols_used; ++j) {
+      const double r_row_base = cfg_.r_source + cfg_.r_wire * j;
+      const double catten = col_atten_[static_cast<std::size_t>(j)];
+      for (std::int64_t k = 0; k < n; ++k)
+        acc[static_cast<std::size_t>(k)] = 0.0;
+      for (std::int64_t i = 0; i < rows_used; ++i) {
+        const int cmax = cb.row_max[i];
+        if (cmax == 0) continue;  // all contributions exactly +0.0
+        const double atten =
+            1.0 / (1.0 + r_row_base * growsum_[static_cast<std::size_t>(i)]);
+        const double gij = pgf[i * cfg_.cols + j];
+        const double s = atten * catten;
+        const double vmax =
+            static_cast<double>(cb.v_unit * static_cast<float>(cmax));
+        if (std::abs(b) * s * vmax < 1.2) {
+          for (int c = 0; c <= cmax; ++c) {
+            const float vf = cb.v_unit * static_cast<float>(c);
+            const double v_eff = static_cast<double>(vf) * atten * catten;
+            const double x = b * v_eff;
+            const double x2 = x * x;
+            constexpr double c1 = 1.0 / 6.0, c2 = 1.0 / 120.0;
+            constexpr double c3 = 1.0 / 5040.0, c4 = 1.0 / 362880.0;
+            const double shc =
+                1.0 + x2 * (c1 + x2 * (c2 + x2 * (c3 + x2 * c4)));
+            tab[c] = gij * v_eff * shc;
+          }
+        } else {
+          for (int c = 0; c <= cmax; ++c) {
+            const float vf = cb.v_unit * static_cast<float>(c);
+            const double v_eff = static_cast<double>(vf) * atten * catten;
+            tab[c] = device_current(gij, v_eff, b);
+          }
+        }
+        const std::int8_t* crow = cb.chunk + i * n;
+        for (std::int64_t k = 0; k < n; ++k)
+          acc[static_cast<std::size_t>(k)] += tab[crow[k]];
+      }
+      float* orow = out.raw() + j * n;
+      for (std::int64_t k = 0; k < n; ++k)
+        orow[k] = static_cast<float>(acc[static_cast<std::size_t>(k)]);
+    }
+    guard_output_finite(out, "fast_noise");
+    return out;
+  }
+
   Tensor mvm_multi_active(const Tensor& v_block, std::int64_t rows_used,
                           std::int64_t cols_used) override {
     NVM_CHECK_EQ(v_block.rank(), 2u);

@@ -52,6 +52,19 @@ Tensor ProgrammedXbar::mvm_multi_active(const Tensor& v_block,
 
 namespace {
 
+/// Materializes the float voltage block a ChunkBlock stands for, with the
+/// exact op the DAC phase uses (one float multiply per code, as
+/// simd::scale performs it) so chunk-driven and voltage-driven paths stay
+/// bit-identical.
+Tensor materialize_chunk_volts(const ChunkBlock& cb) {
+  Tensor volts({cb.rows, cb.n});
+  float* pv = volts.raw();
+  const std::int64_t cells = cb.rows * cb.n;
+  for (std::int64_t i = 0; i < cells; ++i)
+    pv[i] = cb.v_unit * static_cast<float>(cb.chunk[i]);
+  return volts;
+}
+
 /// Default stream: stateless forwarding, identical to cold evaluation.
 class PassthroughStream final : public XbarStream {
  public:
@@ -62,11 +75,28 @@ class PassthroughStream final : public XbarStream {
     return xbar_->mvm_multi_active(v_block, rows_used, cols_used);
   }
 
+  Tensor mvm_chunks_active(const ChunkBlock& cb, std::int64_t rows_used,
+                           std::int64_t cols_used) override {
+    return xbar_->mvm_chunks_active(cb, rows_used, cols_used);
+  }
+
  private:
   ProgrammedXbar* xbar_;
 };
 
 }  // namespace
+
+Tensor ProgrammedXbar::mvm_chunks_active(const ChunkBlock& cb,
+                                         std::int64_t rows_used,
+                                         std::int64_t cols_used) {
+  return mvm_multi_active(materialize_chunk_volts(cb), rows_used, cols_used);
+}
+
+Tensor XbarStream::mvm_chunks_active(const ChunkBlock& cb,
+                                     std::int64_t rows_used,
+                                     std::int64_t cols_used) {
+  return mvm_multi_active(materialize_chunk_volts(cb), rows_used, cols_used);
+}
 
 std::unique_ptr<XbarStream> ProgrammedXbar::open_stream() {
   return std::make_unique<PassthroughStream>(this);

@@ -20,6 +20,20 @@ namespace nvm::xbar {
 
 class XbarStream;
 
+/// Integer view of a DAC voltage block (DESIGN.md §13): the voltages the
+/// tiled GEMM would apply are exactly v_unit * float(chunk[i*n + k]) with
+/// chunk codes in [0, 2^stream_bits - 1]. Models that understand the code
+/// alphabet can exploit it (e.g. per-cell lookup tables over the <= 128
+/// possible codes) while remaining bit-identical to evaluating the
+/// materialized float voltages.
+struct ChunkBlock {
+  const std::int8_t* chunk = nullptr;    ///< (rows, n) row-major DAC codes
+  const std::int8_t* row_max = nullptr;  ///< per-row max code (rows entries)
+  std::int64_t rows = 0;
+  std::int64_t n = 0;
+  float v_unit = 0.0f;  ///< volts per code step
+};
+
 /// A conductance matrix resident on a (model of a) crossbar.
 ///
 /// Thread-safety contract: after program() returns, a ProgrammedXbar is
@@ -68,6 +82,15 @@ class ProgrammedXbar {
                                   std::int64_t rows_used,
                                   std::int64_t cols_used);
 
+  /// mvm_multi_active driven by integer DAC codes instead of materialized
+  /// voltages. Contract: bit-identical to mvm_multi_active on the float
+  /// block volts[i][k] = cb.v_unit * float(cb.chunk[i*n + k]). The default
+  /// materializes exactly that block and forwards; models override to
+  /// exploit the small code alphabet (see FastNoiseModel).
+  virtual Tensor mvm_chunks_active(const ChunkBlock& cb,
+                                   std::int64_t rows_used,
+                                   std::int64_t cols_used);
+
   /// Opens an evaluation stream for a sequence of RELATED v-blocks (the
   /// DAC bit-stream chunks of one tiled-GEMM input). A stream may carry
   /// model state between calls — e.g. the circuit solver warm-starts each
@@ -88,6 +111,13 @@ class XbarStream {
   virtual Tensor mvm_multi_active(const Tensor& v_block,
                                   std::int64_t rows_used,
                                   std::int64_t cols_used) = 0;
+
+  /// Same contract as ProgrammedXbar::mvm_chunks_active (bit-identical to
+  /// mvm_multi_active on the materialized voltages); default materializes
+  /// and forwards through this stream.
+  virtual Tensor mvm_chunks_active(const ChunkBlock& cb,
+                                   std::int64_t rows_used,
+                                   std::int64_t cols_used);
 };
 
 /// Factory for programmed crossbars of one electrical configuration.
@@ -101,6 +131,17 @@ class MvmModel {
 
   virtual const CrossbarConfig& config() const = 0;
   virtual std::string name() const = 0;
+
+  /// True when this model's MVM is the exact digital dot product (no
+  /// analog non-ideality beyond conductance mapping). The tiled GEMM uses
+  /// this to route the whole evaluation through the integer bit-slice
+  /// pipeline (DESIGN.md §13) without programming-model round trips.
+  virtual bool is_ideal() const { return false; }
+
+  /// True when programmed crossbars of this model override
+  /// mvm_chunks_active with something faster than voltage
+  /// materialization.
+  virtual bool supports_chunk_mvm() const { return false; }
 };
 
 /// Validates shape and conductance range of a matrix to be programmed.
@@ -126,6 +167,7 @@ class IdealXbarModel final : public MvmModel {
   std::unique_ptr<ProgrammedXbar> program(const Tensor& g) const override;
   const CrossbarConfig& config() const override { return cfg_; }
   std::string name() const override { return "ideal"; }
+  bool is_ideal() const override { return true; }
 
  private:
   CrossbarConfig cfg_;

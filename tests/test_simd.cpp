@@ -26,12 +26,24 @@
 namespace nvm {
 namespace {
 
-bool avx2_usable() { return simd::avx2_compiled() && simd::avx2_supported(); }
+bool avx2_usable() { return simd::isa_usable(simd::Isa::Avx2); }
 
-/// ISAs to exercise on this machine: scalar always, AVX2 when available.
+/// ISAs to exercise on this machine: scalar always, plus every vector
+/// tier that is both compiled in and usable (AVX2/AVX-512 on x86 with OS
+/// state enabled, NEON on AArch64). Parity tests below iterate this list,
+/// so new tiers are covered automatically wherever the hardware allows.
 std::vector<simd::Isa> test_isas() {
   std::vector<simd::Isa> isas{simd::Isa::Scalar};
-  if (avx2_usable()) isas.push_back(simd::Isa::Avx2);
+  for (simd::Isa isa :
+       {simd::Isa::Avx2, simd::Isa::Avx512, simd::Isa::Neon})
+    if (simd::isa_usable(isa)) isas.push_back(isa);
+  return isas;
+}
+
+/// The vector tiers from test_isas() (everything but scalar).
+std::vector<simd::Isa> vector_isas() {
+  std::vector<simd::Isa> isas = test_isas();
+  isas.erase(isas.begin());
   return isas;
 }
 
@@ -68,6 +80,32 @@ TEST(SimdIsa, ForcingAvx2WithoutSupportThrows) {
 TEST(SimdIsa, NamesAreStable) {
   EXPECT_STREQ(simd::isa_name(simd::Isa::Scalar), "scalar");
   EXPECT_STREQ(simd::isa_name(simd::Isa::Avx2), "avx2");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::Avx512), "avx512");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::Neon), "neon");
+}
+
+TEST(SimdIsa, UsableImpliesCompiledAndSupported) {
+  EXPECT_TRUE(simd::isa_usable(simd::Isa::Scalar));
+  EXPECT_EQ(simd::isa_usable(simd::Isa::Avx2),
+            simd::avx2_compiled() && simd::avx2_supported());
+  EXPECT_EQ(simd::isa_usable(simd::Isa::Avx512),
+            simd::avx512_compiled() && simd::avx512_supported());
+  EXPECT_EQ(simd::isa_usable(simd::Isa::Neon),
+            simd::neon_compiled() && simd::neon_supported());
+  // AVX-512 dispatch requires the AVX2-era OS state too, so a machine that
+  // can run the avx512 tier can always also run avx2.
+  if (simd::avx512_supported()) {
+    EXPECT_TRUE(simd::avx2_supported());
+  }
+}
+
+TEST(SimdIsa, ForcingUnusableTierThrows) {
+  for (simd::Isa isa :
+       {simd::Isa::Avx2, simd::Isa::Avx512, simd::Isa::Neon}) {
+    if (simd::isa_usable(isa)) continue;
+    EXPECT_THROW(simd::ScopedIsaForTests scope(isa), CheckError)
+        << simd::isa_name(isa);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -214,14 +252,14 @@ TEST(SimdKernels, TanhBlockMatchesTanhFastExactly) {
 }
 
 // ---------------------------------------------------------------------------
-// Scalar vs AVX2 parity
+// Scalar vs vector-tier parity (avx2 / avx512 / neon, whichever run here)
 // ---------------------------------------------------------------------------
 
-/// [exact]-contract kernels must produce bit-identical outputs on both
-/// ISAs (DESIGN.md §11); this is what makes the full analog stack
-/// NVM_SIMD-invariant.
+/// [exact]-contract kernels must produce bit-identical outputs on every
+/// usable ISA tier (DESIGN.md §11, §13); this is what makes the full
+/// analog stack NVM_SIMD-invariant.
 TEST(SimdParity, ExactKernelsBitIdenticalAcrossIsas) {
-  if (!avx2_usable()) GTEST_SKIP() << "AVX2 not available";
+  if (vector_isas().empty()) GTEST_SKIP() << "no vector tier available";
   Rng rng(21);
   const std::int64_t n = 101;  // odd: exercises vector body + scalar tail
   std::vector<float> x = random_vec(n, rng, -3.0, 3.0);
@@ -246,18 +284,22 @@ TEST(SimdParity, ExactKernelsBitIdenticalAcrossIsas) {
     return o;
   };
   auto s = run(simd::Isa::Scalar);
-  auto v = run(simd::Isa::Avx2);
-  for (std::int64_t i = 0; i < n; ++i) {
-    EXPECT_EQ(s.madd[i], v.madd[i]) << "madd " << i;
-    EXPECT_EQ(s.scl[i], v.scl[i]) << "scale " << i;
-    EXPECT_EQ(s.tanh[i], v.tanh[i]) << "tanh " << i;
-    EXPECT_EQ(s.quant[i], v.quant[i]) << "quantize " << i;
-    EXPECT_EQ(s.adc[i], v.adc[i]) << "adc " << i;
+  for (simd::Isa isa : vector_isas()) {
+    auto v = run(isa);
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(s.madd[i], v.madd[i])
+          << simd::isa_name(isa) << " madd " << i;
+      EXPECT_EQ(s.scl[i], v.scl[i]) << simd::isa_name(isa) << " scale " << i;
+      EXPECT_EQ(s.tanh[i], v.tanh[i]) << simd::isa_name(isa) << " tanh " << i;
+      EXPECT_EQ(s.quant[i], v.quant[i])
+          << simd::isa_name(isa) << " quantize " << i;
+      EXPECT_EQ(s.adc[i], v.adc[i]) << simd::isa_name(isa) << " adc " << i;
+    }
   }
 }
 
 TEST(SimdParity, GemmF64AccBitIdenticalAcrossIsas) {
-  if (!avx2_usable()) GTEST_SKIP() << "AVX2 not available";
+  if (vector_isas().empty()) GTEST_SKIP() << "no vector tier available";
   Rng rng(22);
   const std::int64_t m = 13, n = 19, k = 31;
   std::vector<float> a = random_vec(m * k, rng), v = random_vec(k * n, rng);
@@ -267,15 +309,19 @@ TEST(SimdParity, GemmF64AccBitIdenticalAcrossIsas) {
     simd::gemm_f64acc(out.data(), a.data(), v.data(), m, n, k, k, n, n);
     return out;
   };
-  auto s = run(simd::Isa::Scalar), x = run(simd::Isa::Avx2);
-  for (std::int64_t i = 0; i < m * n; ++i) EXPECT_EQ(s[i], x[i]) << i;
+  auto s = run(simd::Isa::Scalar);
+  for (simd::Isa isa : vector_isas()) {
+    auto x = run(isa);
+    for (std::int64_t i = 0; i < m * n; ++i)
+      EXPECT_EQ(s[i], x[i]) << simd::isa_name(isa) << " " << i;
+  }
 }
 
-/// [~ulp]-contract kernels (FMA on AVX2, plain mul+add scalar) may differ,
-/// but only within the documented accumulation bound: a few eps of the sum
-/// of absolute products.
+/// [~ulp]-contract kernels (FMA in the vector tiers, plain mul+add
+/// scalar) may differ, but only within the documented accumulation bound:
+/// a few eps of the sum of absolute products.
 TEST(SimdParity, UlpKernelsWithinDocumentedBound) {
-  if (!avx2_usable()) GTEST_SKIP() << "AVX2 not available";
+  if (vector_isas().empty()) GTEST_SKIP() << "no vector tier available";
   Rng rng(23);
   const std::int64_t n = 517;
   std::vector<float> a = random_vec(n, rng), b = random_vec(n, rng);
@@ -285,24 +331,117 @@ TEST(SimdParity, UlpKernelsWithinDocumentedBound) {
   const double bound = 8.0 * static_cast<double>(n) *
                        std::numeric_limits<float>::epsilon() * abs_sum;
 
-  float dot_s, dot_v;
-  std::vector<float> axpy_s = b, axpy_v = b;
+  float dot_s;
+  std::vector<float> axpy_s = b;
   {
     simd::ScopedIsaForTests scope(simd::Isa::Scalar);
     dot_s = simd::dot(a.data(), b.data(), n);
     simd::axpy(axpy_s.data(), a.data(), 0.77f, n);
   }
-  {
-    simd::ScopedIsaForTests scope(simd::Isa::Avx2);
-    dot_v = simd::dot(a.data(), b.data(), n);
-    simd::axpy(axpy_v.data(), a.data(), 0.77f, n);
+  for (simd::Isa isa : vector_isas()) {
+    float dot_v;
+    std::vector<float> axpy_v = b;
+    {
+      simd::ScopedIsaForTests scope(isa);
+      dot_v = simd::dot(a.data(), b.data(), n);
+      simd::axpy(axpy_v.data(), a.data(), 0.77f, n);
+    }
+    EXPECT_NEAR(dot_s, dot_v, bound) << simd::isa_name(isa);
+    for (std::int64_t i = 0; i < n; ++i)
+      EXPECT_NEAR(axpy_s[i], axpy_v[i],
+                  2.0 * std::numeric_limits<float>::epsilon() *
+                      (std::abs(axpy_s[i]) + std::abs(0.77f * a[i])))
+          << simd::isa_name(isa) << " " << i;
   }
-  EXPECT_NEAR(dot_s, dot_v, bound);
-  for (std::int64_t i = 0; i < n; ++i)
-    EXPECT_NEAR(axpy_s[i], axpy_v[i],
-                2.0 * std::numeric_limits<float>::epsilon() *
-                    (std::abs(axpy_s[i]) + std::abs(0.77f * a[i])))
-        << i;
+}
+
+// ---------------------------------------------------------------------------
+// Integer bit-slice kernels (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// quantize_to_i8/i16 must produce exactly the codes quantize_affine
+/// produces (as floats), on every tier.
+TEST(SimdIntKernels, QuantizeIntTwinsMatchQuantizeAffineBitExact) {
+  Rng rng(61);
+  const std::int64_t n = 103;  // odd: vector body + tail
+  std::vector<float> x = random_vec(n, rng, -0.4, 1.9);
+  x[0] = 0.0f;
+  x[1] = 1.5f;  // ref scale 1.5/qmax hits exact ties for power-of-2 qmax
+  for (simd::Isa isa : test_isas()) {
+    simd::ScopedIsaForTests scope(isa);
+    for (const float qmax : {127.0f, 63.0f, 32767.0f, 8.0f}) {
+      const float scale = 1.5f;
+      std::vector<float> ref(static_cast<std::size_t>(n));
+      simd::quantize_affine(ref.data(), x.data(), n, scale, qmax);
+      if (qmax <= 127.0f) {
+        std::vector<std::int8_t> q8(static_cast<std::size_t>(n));
+        simd::quantize_to_i8(q8.data(), x.data(), n, scale, qmax);
+        for (std::int64_t i = 0; i < n; ++i)
+          EXPECT_EQ(static_cast<float>(q8[i]), ref[i])
+              << simd::isa_name(isa) << " qmax=" << qmax << " i=" << i;
+      }
+      std::vector<std::int16_t> q16(static_cast<std::size_t>(n));
+      simd::quantize_to_i16(q16.data(), x.data(), n, scale, qmax);
+      for (std::int64_t i = 0; i < n; ++i)
+        EXPECT_EQ(static_cast<float>(q16[i]), ref[i])
+            << simd::isa_name(isa) << " qmax=" << qmax << " i=" << i;
+    }
+  }
+}
+
+/// The i32 GEMM must agree bit-for-bit with float accumulation of the
+/// same integer-valued operands: products are < 2^14 and dot totals stay
+/// below 2^24, where float arithmetic is exact, so BOTH paths compute the
+/// mathematically exact integer. This is the kernel-level "int8 == f32"
+/// contract the bit-slice pipeline rests on.
+TEST(SimdIntKernels, GemmI8I32accMatchesFloatGemmExactly) {
+  Rng rng(62);
+  const std::int64_t m = 17, n = 23, k = 61;
+  std::vector<std::int8_t> a(static_cast<std::size_t>(k * m));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(k * n));
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform(0.0, 127.99));
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform(0.0, 127.99));
+  std::vector<float> af(a.begin(), a.end()), bf(b.begin(), b.end());
+  std::vector<float> cf(static_cast<std::size_t>(m * n), 0.0f);
+  simd::gemm_at_accum(cf.data(), af.data(), bf.data(), m, n, k, m, n, n);
+
+  std::vector<std::int32_t> ref;
+  for (simd::Isa isa : test_isas()) {
+    simd::ScopedIsaForTests scope(isa);
+    std::vector<std::int32_t> c(static_cast<std::size_t>(m * n), 0);
+    simd::gemm_at_i8_i32acc(c.data(), a.data(), b.data(), m, n, k, m, n, n);
+    for (std::int64_t i = 0; i < m * n; ++i)
+      EXPECT_EQ(static_cast<float>(c[i]), cf[i])
+          << simd::isa_name(isa) << " " << i;
+    if (ref.empty())
+      ref = c;
+    else
+      EXPECT_EQ(c, ref) << simd::isa_name(isa);
+  }
+}
+
+TEST(SimdIntKernels, AdcShiftAddI32MatchesComposedFloatOps) {
+  Rng rng(63);
+  const std::int64_t n = 41;
+  std::vector<std::int32_t> dot(static_cast<std::size_t>(n));
+  for (auto& d : dot)
+    d = static_cast<std::int32_t>(rng.uniform(0.0, 16383.99));
+  std::vector<float> base = random_vec(n, rng, 0.0, 0.3);
+  const float dot_unit = 3.1e-5f, fs = 1.1f, steps = 1023.0f, shift = 2.5f;
+  for (simd::Isa isa : test_isas()) {
+    simd::ScopedIsaForTests scope(isa);
+    std::vector<float> acc(static_cast<std::size_t>(n), 0.125f);
+    simd::adc_shift_add_i32(acc.data(), dot.data(), base.data(), n, dot_unit,
+                            fs, steps, shift);
+    for (std::int64_t i = 0; i < n; ++i) {
+      // Composed float reference: unfused mul+add, then the same fused
+      // ADC + baseline-subtract + shift-add as adc_shift_add.
+      const float cur = base[i] + dot_unit * static_cast<float>(dot[i]);
+      float want = 0.125f;
+      simd::adc_shift_add(&want, &cur, &base[i], 1, fs, steps, shift);
+      EXPECT_EQ(acc[i], want) << simd::isa_name(isa) << " i=" << i;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -488,6 +627,117 @@ TEST(TiledMatmul, DeterministicAcrossThreadCountsAndIsas) {
         ThreadPool::ScopedUse use(pool);
         Tensor out = tiled_reference_run(model, w, x);
         ASSERT_EQ(out.numel(), ref.numel());
+        for (std::int64_t i = 0; i < out.numel(); ++i)
+          EXPECT_EQ(out[i], ref[i])
+              << (fast_noise ? "fast_noise" : "ideal")
+              << " isa=" << simd::isa_name(isa) << " threads=" << threads
+              << " i=" << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Integer bit-slice pipeline vs the legacy float pipeline
+// ---------------------------------------------------------------------------
+
+/// fast_noise: the chunk-gather int path evaluates the SAME float
+/// operations per distinct chunk code as the legacy per-element loop
+/// (DESIGN.md §13), so routing through it must not move a single bit.
+TEST(IntPath, FastNoiseIntChunksBitIdenticalToLegacyFloat) {
+  Rng rng(71);
+  const auto cfg = tiny_config(16);
+  Tensor w = Tensor::normal({20, 18}, 0.0f, 0.4f, rng);
+  Tensor x({18, 5});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  auto model = std::make_shared<xbar::FastNoiseModel>(cfg);
+  puma::TiledMatrix tiled(w, model, puma::HwConfig{});
+  metrics::Counter& chunk_mms =
+      metrics::counter("puma/tiled/matmuls_int_chunks");
+
+  Tensor legacy, routed;
+  {
+    puma::ScopedIntPathForTests off(false);
+    legacy = tiled.matmul(x, 0.0f);
+  }
+  {
+    puma::ScopedIntPathForTests on(true);
+    const std::uint64_t before = chunk_mms.value();
+    routed = tiled.matmul(x, 0.0f);
+    EXPECT_GT(chunk_mms.value(), before) << "int chunk path did not engage";
+  }
+  ASSERT_EQ(legacy.numel(), routed.numel());
+  for (std::int64_t i = 0; i < legacy.numel(); ++i)
+    EXPECT_EQ(routed[i], legacy[i]) << i;
+}
+
+/// ideal: the fully-digital int path computes the exact integer dot
+/// products the analog model only approximates through pre-rounded float
+/// conductances and a double accumulation, so outputs can differ — but
+/// only where the ADC rounds a near-tie the other way, i.e. by at most
+/// one ADC step per shift-add term.
+TEST(IntPath, IdealIntDigitalMatchesLegacyWithinAdcRounding) {
+  Rng rng(72);
+  const auto cfg = tiny_config(16);
+  Tensor w = Tensor::normal({20, 18}, 0.0f, 0.4f, rng);
+  Tensor x({18, 5});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  auto model = std::make_shared<xbar::IdealXbarModel>(cfg);
+  puma::TiledMatrix tiled(w, model, puma::HwConfig{});
+  metrics::Counter& digital_mms =
+      metrics::counter("puma/tiled/matmuls_int_digital");
+
+  Tensor legacy, digital;
+  {
+    puma::ScopedIntPathForTests off(false);
+    legacy = tiled.matmul(x, 0.0f);
+  }
+  {
+    puma::ScopedIntPathForTests on(true);
+    const std::uint64_t before = digital_mms.value();
+    digital = tiled.matmul(x, 0.0f);
+    EXPECT_GT(digital_mms.value(), before) << "int digital path not engaged";
+  }
+  ASSERT_EQ(legacy.numel(), digital.numel());
+  ASSERT_GT(legacy.abs_max(), 0.0f);
+  const float tol = 1e-3f * legacy.abs_max() + 1e-6f;
+  for (std::int64_t i = 0; i < legacy.numel(); ++i)
+    EXPECT_NEAR(digital[i], legacy[i], tol) << i;
+}
+
+/// Both int routes must themselves be deterministic across ISA tiers and
+/// thread counts (the existing TiledMatmul cross-product runs with the
+/// int path live by default; this pins the gate explicitly on).
+TEST(IntPath, IntRoutesDeterministicAcrossIsasAndThreads) {
+  Rng rng(73);
+  const auto cfg = tiny_config(16);
+  Tensor w = Tensor::normal({20, 18}, 0.0f, 0.4f, rng);
+  Tensor x({18, 5});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  puma::ScopedIntPathForTests on(true);
+  for (const bool fast_noise : {false, true}) {
+    std::shared_ptr<const xbar::MvmModel> model;
+    if (fast_noise)
+      model = std::make_shared<xbar::FastNoiseModel>(cfg);
+    else
+      model = std::make_shared<xbar::IdealXbarModel>(cfg);
+    puma::TiledMatrix tiled(w, model, puma::HwConfig{});
+    Tensor ref;
+    {
+      simd::ScopedIsaForTests scope(simd::Isa::Scalar);
+      ThreadPool serial(1);
+      ThreadPool::ScopedUse use(serial);
+      ref = tiled.matmul(x, 0.0f);
+    }
+    for (simd::Isa isa : test_isas()) {
+      simd::ScopedIsaForTests scope(isa);
+      for (std::size_t threads : {1u, 3u}) {
+        ThreadPool pool(threads);
+        ThreadPool::ScopedUse use(pool);
+        Tensor out = tiled.matmul(x, 0.0f);
         for (std::int64_t i = 0; i < out.numel(); ++i)
           EXPECT_EQ(out[i], ref[i])
               << (fast_noise ? "fast_noise" : "ideal")

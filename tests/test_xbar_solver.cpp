@@ -247,6 +247,68 @@ TEST(Solver, SuperpositionHoldsForLinearDevices) {
     EXPECT_NEAR(lhs[j], rhs[j], 1e-6f * std::abs(rhs[j]) + 1e-13f);
 }
 
+TEST(Solver, RedBlackBitIdenticalToLexicographic) {
+  // The red-black plane schedule only reorders independent chain solves
+  // within each half-sweep, so every iterate — and therefore the output
+  // currents AND the sweep count — must match the legacy chain-at-a-time
+  // schedule exactly.
+  for (const std::int64_t n : {3, 8, 16}) {
+    CrossbarConfig cfg = tiny_config(n);
+    Rng rng(20 + n);
+    Tensor g = sample_conductances(cfg, rng);
+    Tensor v = sample_voltages(cfg, rng);
+    SolverOptions rb, lex;
+    rb.ordering = SweepOrdering::kRedBlack;
+    lex.ordering = SweepOrdering::kLexicographic;
+    SolveStats srb, slex;
+    Tensor a = solve_crossbar(cfg, rb, g, v, &srb);
+    Tensor b = solve_crossbar(cfg, lex, g, v, &slex);
+    EXPECT_EQ(srb.sweeps_used, slex.sweeps_used) << "n=" << n;
+    EXPECT_EQ(srb.last_delta, slex.last_delta) << "n=" << n;
+    EXPECT_EQ(max_abs_diff(a, b), 0.0f) << "n=" << n;
+  }
+}
+
+TEST(Solver, CoarseStartSavesSweepsAndStaysWithinTolerance) {
+  CrossbarConfig cfg = xbar_64x64_100k();
+  Rng rng(21);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  SolverOptions coarse, flat;
+  coarse.coarse_start = true;
+  flat.coarse_start = false;
+  SolveStats sc, sf;
+  Tensor a = solve_crossbar(cfg, coarse, g, v, &sc);
+  Tensor b = solve_crossbar(cfg, flat, g, v, &sf);
+  EXPECT_TRUE(sc.ok());
+  EXPECT_TRUE(sf.ok());
+  // The analytic IR-drop seed must never cost sweeps, and on this stiff
+  // 64x64 preset it must actually save at least one.
+  EXPECT_LT(sc.sweeps_used, sf.sweeps_used);
+  // Both converge the same fixed point to tol * v_read.
+  for (std::int64_t j = 0; j < cfg.cols; ++j)
+    EXPECT_NEAR(a[j], b[j], 1e-5f * cfg.i_scale()) << "col " << j;
+}
+
+TEST(Solver, ConvergenceRegressionAcrossScheduleOptions) {
+  // Regression rail for the sweep counts the perf work relies on: the
+  // default options (red-black + coarse start) must not regress past the
+  // legacy schedule's cost on the benchmark-sized preset.
+  CrossbarConfig cfg = xbar_64x64_100k();
+  Rng rng(22);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  SolverOptions legacy;
+  legacy.ordering = SweepOrdering::kLexicographic;
+  legacy.coarse_start = false;
+  SolveStats sdef, sleg;
+  (void)solve_crossbar(cfg, {}, g, v, &sdef);
+  (void)solve_crossbar(cfg, legacy, g, v, &sleg);
+  EXPECT_TRUE(sdef.ok());
+  EXPECT_LE(sdef.sweeps_used, sleg.sweeps_used);
+  EXPECT_LT(sdef.sweeps_used, 40);
+}
+
 TEST(Solver, ProgramValidatesConductanceRange) {
   CrossbarConfig cfg = tiny_config(2);
   CircuitSolverModel model(cfg);
