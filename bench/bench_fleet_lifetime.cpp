@@ -1,0 +1,120 @@
+// Fleet-lifetime policy shoot-out: is scheduled recalibration worth it?
+//
+// Runs the SAME fleet (same seed, same dies, same drift clocks) under all
+// four recalibration policies and compares accuracy per unit
+// recalibration energy (FleetResult::score). The two informed policies
+// must strictly beat both degenerate baselines:
+//
+//   * never    — accuracy decays with drift; zero maintenance spend.
+//   * always   — re-programs every chip every epoch; peak accuracy at an
+//                absurd energy bill (maintenance intensity 1.0).
+//   * threshold / budgeted — refit early (cheap per-layer gain fitted on
+//                the aged silicon), re-program late, retire hopeless dies.
+//
+// Exits nonzero if either informed policy fails to beat either baseline,
+// so CI catches a regression in the scheduler or the drift/refit physics.
+// Emits per-policy scores, curves, and costs into the --metrics-out
+// manifest (BENCH_fleet.json via scripts/run_benches.sh).
+#include "bench_util.h"
+#include "fleet/simulator.h"
+#include "xbar/fast_noise.h"
+
+int main(int argc, char** argv) {
+  using namespace nvm;
+  core::RunManifest manifest =
+      bench::bench_manifest(argc, argv, "bench_fleet_lifetime");
+  core::Task task = core::task_scifar10();
+  core::PreparedTask prepared = core::prepare(task);
+  auto base = std::make_shared<xbar::FastNoiseModel>(
+      xbar::make_solver("64x64_100k")->config());
+
+  fleet::FleetOptions opt;
+  opt.n_chips = env_int("NVM_FLEET_BENCH_CHIPS", scaled(5, 12));
+  opt.epochs = env_int("NVM_FLEET_BENCH_EPOCHS", scaled(4, 6));
+  // Whole-fleet evaluation: the policy comparison is exact, not sampled.
+  opt.sample_per_epoch = 0;
+  opt.dt_s = 2.0;
+  opt.seed = static_cast<std::uint64_t>(env_int("NVM_FLEET_SEED", 7));
+  opt.n_eval = env_int("NVM_FLEET_BENCH_N", scaled(24, 96));
+  opt.run_pgd = true;
+  opt.pgd_eps_255 = 2.0f;
+  opt.pgd_iters = 10;
+
+  fleet::SlaConfig sla;  // defaults: 30% clean floor, 90% availability
+
+  const fleet::PolicyKind policies[] = {
+      fleet::PolicyKind::Never, fleet::PolicyKind::Always,
+      fleet::PolicyKind::Threshold, fleet::PolicyKind::BudgetedGreedy};
+  std::vector<fleet::FleetResult> results;
+  for (const fleet::PolicyKind kind : policies) {
+    fleet::SchedulerConfig sched;
+    sched.policy = kind;
+    sched.budget_actions_per_epoch = 2;
+    fleet::FleetSimulator sim(prepared, base, opt);
+    results.push_back(sim.run(sched, sla));
+    fleet::print_fleet_result(task, "fast_noise/64x64_100k", results.back());
+  }
+
+  core::TablePrinter table({"policy", "mean clean %", "mean pgd %",
+                            "recal cost (fleet units)", "sla violations",
+                            "score"});
+  for (const fleet::FleetResult& r : results) {
+    const char* name =
+        fleet::RecalibrationScheduler::policy_name(r.scheduler.policy);
+    table.add_row({name, core::fmt(r.mean_clean), core::fmt(r.mean_pgd),
+                   core::fmt(static_cast<float>(r.normalized_recal_cost)),
+                   std::to_string(r.total_sla_violations),
+                   core::fmt(static_cast<float>(r.score))});
+    const std::string p = std::string("fleet/") + name + "/";
+    manifest.add_result(p + "score", r.score);
+    manifest.add_result(p + "mean_clean", r.mean_clean);
+    manifest.add_result(p + "mean_pgd", r.mean_pgd);
+    manifest.add_result(p + "normalized_recal_cost", r.normalized_recal_cost);
+    manifest.add_result(p + "maintenance_intensity", r.maintenance_intensity);
+    manifest.add_result(p + "sla_violations",
+                        static_cast<double>(r.total_sla_violations));
+    manifest.add_result(p + "reprograms",
+                        static_cast<double>(r.total_reprograms));
+    manifest.add_result(p + "refits", static_cast<double>(r.total_refits));
+    std::vector<double> clean, pgd;
+    for (const fleet::EpochSummary& e : r.epochs) {
+      clean.push_back(e.mean_clean);
+      pgd.push_back(e.mean_pgd);
+    }
+    manifest.add_series(p + "clean_acc", std::move(clean));
+    manifest.add_series(p + "pgd_acc", std::move(pgd));
+  }
+  manifest.add_result("fleet/n_chips", static_cast<double>(opt.n_chips));
+  manifest.add_result("fleet/epochs", static_cast<double>(opt.epochs));
+  manifest.add_result("fleet/seed", static_cast<double>(opt.seed));
+  manifest.set_xbar(base->config());
+  table.print("Fleet lifetime: accuracy per unit recalibration energy");
+
+  const fleet::FleetResult& never = results[0];
+  const fleet::FleetResult& always = results[1];
+  std::printf(
+      "\nExpected shape: never decays toward the SLA floor for free; always\n"
+      "holds peak accuracy at maintenance intensity 1.0; threshold and\n"
+      "budgeted buy back most of the accuracy with targeted refits at a\n"
+      "fraction of always' energy, so their score (quality / (1 +\n"
+      "maintenance intensity)) must beat both baselines.\n");
+  int failures = 0;
+  for (std::size_t i = 2; i < results.size(); ++i) {
+    const fleet::FleetResult& r = results[i];
+    const char* name =
+        fleet::RecalibrationScheduler::policy_name(r.scheduler.policy);
+    if (!(r.score > never.score)) {
+      std::printf("FAIL: %s score %.4f does not beat never %.4f\n", name,
+                  r.score, never.score);
+      ++failures;
+    }
+    if (!(r.score > always.score)) {
+      std::printf("FAIL: %s score %.4f does not beat always %.4f\n", name,
+                  r.score, always.score);
+      ++failures;
+    }
+  }
+  if (failures == 0)
+    std::printf("OK: threshold and budgeted strictly beat both baselines.\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -21,6 +21,11 @@
 //       Stand up the micro-batching inference service over a crossbar-
 //       deployed linear classifier and drive it with deterministic
 //       open-loop Poisson traffic; reports throughput and latency.
+//   fleet_sim --task NAME [--chips N] [--epochs E] [--sample K] [--dt SEC]
+//       [--policy never|always|threshold|budgeted] [--n K] [--attack pgd|none]
+//       Time-stepped population-scale aging simulation: chip-seeded
+//       fault/drift handles, per-epoch sampled accuracy, SLA monitoring,
+//       and a recalibration scheduler (see DESIGN.md §14).
 //
 // All artifacts cache under ./repro_cache; everything is deterministic.
 //
@@ -36,10 +41,12 @@
 
 #include "attack/pgd.h"
 #include "attack/square.h"
+#include "common/env.h"
 #include "core/evaluator.h"
 #include "core/fault_sweep.h"
 #include "core/report.h"
 #include "core/tasks.h"
+#include "fleet/simulator.h"
 #include "nn/loss.h"
 #include "puma/hw_network.h"
 #include "puma/tiled_mvm.h"
@@ -284,6 +291,98 @@ int cmd_fault_sweep(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Flag wins, then the environment variable, then the fallback — the
+/// NVM_FLEET_* variables let scripts pin a fleet config without flag soup.
+double fleet_param(const std::map<std::string, std::string>& flags,
+                   const std::string& flag, const char* env_name,
+                   double fallback) {
+  auto it = flags.find(flag);
+  if (it != flags.end()) return std::stod(it->second);
+  const std::string env = env_str(env_name, "");
+  return env.empty() ? fallback : std::stod(env);
+}
+
+int cmd_fleet_sim(const std::map<std::string, std::string>& flags) {
+  core::RunManifest manifest = manifest_for("fleet_sim", flags);
+  core::PreparedTask prepared =
+      core::prepare(find_task(flag_or(flags, "task", "SCIFAR10")));
+  const std::string xbar_name = flag_or(flags, "xbar", "64x64_100k");
+  const std::string model_kind = flag_or(flags, "model", "fast_noise");
+
+  std::shared_ptr<const xbar::MvmModel> base;
+  if (model_kind == "geniex") {
+    base = xbar::make_geniex(xbar_name);
+  } else if (model_kind == "solver") {
+    base = xbar::make_solver(xbar_name);
+  } else if (model_kind == "fast_noise") {
+    base = std::make_shared<xbar::FastNoiseModel>(
+        xbar::make_solver(xbar_name)->config());
+  } else {
+    std::fprintf(stderr,
+                 "unknown --model '%s' (try: geniex, fast_noise, solver)\n",
+                 model_kind.c_str());
+    return 2;
+  }
+
+  fleet::FleetOptions opt;
+  opt.n_chips = static_cast<std::int64_t>(
+      fleet_param(flags, "chips", "NVM_FLEET_CHIPS", 48));
+  opt.epochs = static_cast<std::int64_t>(
+      fleet_param(flags, "epochs", "NVM_FLEET_EPOCHS", 5));
+  opt.sample_per_epoch = static_cast<std::int64_t>(
+      fleet_param(flags, "sample", "NVM_FLEET_SAMPLE", 6));
+  opt.dt_s = fleet_param(flags, "dt", "NVM_FLEET_DT_S", 2.0);
+  opt.initial_age_spread_s =
+      fleet_param(flags, "age_spread", "NVM_FLEET_AGE_SPREAD_S", 0.0);
+  opt.seed = static_cast<std::uint64_t>(
+      fleet_param(flags, "seed", "NVM_FLEET_SEED", 7));
+  opt.stuck_on_rate = flag_or(flags, "stuck_on", opt.stuck_on_rate);
+  opt.stuck_off_rate = flag_or(flags, "stuck_off", opt.stuck_off_rate);
+  opt.dead_row_rate = flag_or(flags, "dead_rows", opt.dead_row_rate);
+  opt.dead_col_rate = flag_or(flags, "dead_cols", opt.dead_col_rate);
+  opt.rate_log_sigma = flag_or(flags, "rate_sigma", opt.rate_log_sigma);
+  opt.drift_nu_lo = flag_or(flags, "nu_lo", opt.drift_nu_lo);
+  opt.drift_nu_hi = flag_or(flags, "nu_hi", opt.drift_nu_hi);
+  opt.n_eval = static_cast<std::int64_t>(flag_or(flags, "n", 32));
+  opt.pgd_eps_255 = static_cast<float>(flag_or(flags, "eps", 2.0));
+  opt.pgd_iters = static_cast<int>(flag_or(flags, "iters", 10));
+  opt.square_queries = static_cast<int>(flag_or(flags, "queries", 300));
+  const std::string attack_kind = flag_or(flags, "attack", "none");
+  opt.run_pgd = attack_kind == "pgd" || attack_kind == "both";
+  opt.run_square = attack_kind == "square" || attack_kind == "both";
+
+  fleet::SchedulerConfig sched;
+  sched.policy = fleet::RecalibrationScheduler::parse_policy(
+      flag_or(flags, "policy", env_str("NVM_FLEET_POLICY", "threshold")));
+  sched.reprogram_decay_threshold =
+      flag_or(flags, "reprogram_decay", sched.reprogram_decay_threshold);
+  sched.refit_decay_threshold =
+      flag_or(flags, "refit_decay", sched.refit_decay_threshold);
+  sched.retire_defect_fraction =
+      flag_or(flags, "retire_defect", sched.retire_defect_fraction);
+  sched.budget_actions_per_epoch = static_cast<std::int64_t>(
+      flag_or(flags, "budget", sched.budget_actions_per_epoch));
+
+  fleet::SlaConfig sla;
+  sla.min_clean_acc = flag_or(flags, "slo_clean", sla.min_clean_acc);
+  sla.min_adv_acc = flag_or(flags, "slo_adv", sla.min_adv_acc);
+  sla.min_availability = flag_or(flags, "slo_avail", sla.min_availability);
+  sla.cohort_age_s = flag_or(flags, "cohort_age", sla.cohort_age_s);
+  sla.min_cohort_samples = static_cast<std::int64_t>(
+      flag_or(flags, "cohort_min", sla.min_cohort_samples));
+
+  fleet::FleetSimulator sim(prepared, base, opt);
+  const fleet::FleetResult result = sim.run(sched, sla);
+  fleet::print_fleet_result(prepared.task, base->name() + "/" + xbar_name,
+                            result);
+
+  manifest.set_xbar(base->config());
+  manifest.set_note("task", prepared.task.name);
+  manifest.set_note("model", base->name());
+  fleet::emit_fleet_manifest(result, manifest);
+  return 0;
+}
+
 /// Attack view of a TiledMatrix linear classifier: logits are the deployed
 /// (quantized, noisy) matmul; gradients use the ideal float weights.
 class TiledAttackModel final : public attack::AttackModel {
@@ -493,9 +592,18 @@ void usage() {
       "          --timeout_us US --model fast_noise|ideal]\n"
       "                                      micro-batching inference service\n"
       "                                      under open-loop Poisson traffic\n"
+      "  fleet_sim --task NAME [--model fast_noise|geniex|solver --chips N\n"
+      "            --epochs E --sample K --dt SEC --policy never|always|\n"
+      "            threshold|budgeted --budget B --n K --attack pgd|none\n"
+      "            --slo_clean PCT --slo_avail F --seed S]\n"
+      "                                      population-scale aging + SLA +\n"
+      "                                      recalibration scheduling\n"
       "crossbar MODEL is one of: 64x64_300k, 32x32_100k, 64x64_100k\n"
       "serve also honours NVM_SERVE_MAX_BATCH / NVM_SERVE_FLUSH_US /\n"
       "NVM_SERVE_QUEUE_CAP / NVM_SERVE_TIMEOUT_US\n"
+      "fleet_sim also honours NVM_FLEET_CHIPS / NVM_FLEET_EPOCHS /\n"
+      "NVM_FLEET_SAMPLE / NVM_FLEET_DT_S / NVM_FLEET_AGE_SPREAD_S /\n"
+      "NVM_FLEET_SEED / NVM_FLEET_POLICY\n"
       "every command also accepts --metrics-out PATH (or NVM_METRICS_OUT)\n"
       "to write a JSON run manifest\n");
 }
@@ -515,6 +623,7 @@ int main(int argc, char** argv) {
   if (cmd == "eval") return cmd_eval(flags);
   if (cmd == "attack") return cmd_attack(flags);
   if (cmd == "fault_sweep") return cmd_fault_sweep(flags);
+  if (cmd == "fleet_sim") return cmd_fleet_sim(flags);
   if (cmd == "serve") return cmd_serve(flags);
   usage();
   return 2;

@@ -92,6 +92,53 @@ EOF
 echo "== tier-1: serving smoke (micro-batching service) =="
 serve_smoke ./build/examples/nvmrobust_cli /tmp/nvmrobust_check_serve.json
 
+# Fleet-lifetime smoke: the physics and the scheduler must both show
+# through at toy scale. Whole-fleet evaluation (--sample 0) keeps the
+# per-epoch means exact, so the assertions are deterministic.
+fleet_smoke_never() {
+  local cli="$1" manifest="$2"
+  rm -f "$manifest"
+  "$cli" fleet_sim --policy never --chips 5 --epochs 4 --sample 0 \
+    --n 24 --dt 2 --metrics-out "$manifest"
+  python3 - "$manifest" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+acc = m["series"]["fleet/clean_acc"]
+assert all(b <= a for a, b in zip(acc, acc[1:])), \
+    "never-policy fleet accuracy must decline monotonically: %r" % acc
+assert acc[0] - acc[-1] >= 4.0, "drift should cost several points: %r" % acc
+assert m["results"]["fleet/total_reprograms"] == 0
+assert m["results"]["fleet/total_recal_energy_nj"] == 0
+print("fleet never-policy ok: clean %r, zero maintenance" % acc)
+EOF
+}
+
+fleet_smoke_always() {
+  local cli="$1" manifest="$2"
+  rm -f "$manifest"
+  "$cli" fleet_sim --policy always --chips 3 --epochs 2 --sample 0 \
+    --n 16 --dt 2 --metrics-out "$manifest"
+  python3 - "$manifest" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+r = m["results"]
+assert r["fleet/total_sla_violations"] == 0, \
+    "always-policy fleet must hold the SLA: %r" % r
+assert r["fleet/total_reprograms"] == r["fleet/n_chips"] * r["fleet/epochs"]
+assert r["fleet/maintenance_intensity"] == 1.0, r["fleet/maintenance_intensity"]
+print("fleet always-policy ok: %d reprograms, zero SLA violations"
+      % r["fleet/total_reprograms"])
+EOF
+}
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "== tier-1: fleet lifetime smoke (never + always policies) =="
+  fleet_smoke_never ./build/examples/nvmrobust_cli /tmp/nvmrobust_check_fleet_never.json
+  fleet_smoke_always ./build/examples/nvmrobust_cli /tmp/nvmrobust_check_fleet_always.json
+else
+  echo "== tier-1: fleet smoke skipped (needs python3 for manifest checks) =="
+fi
+
 if [[ "${1:-}" == "--skip-sanitize" ]]; then
   echo "== sanitizer pass skipped =="
   exit 0
@@ -104,5 +151,10 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== sanitizer: serving smoke under ASan+UBSan =="
 serve_smoke ./build-asan/examples/nvmrobust_cli /tmp/nvmrobust_check_serve_asan.json
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "== sanitizer: fleet lifetime smoke under ASan+UBSan =="
+  fleet_smoke_always ./build-asan/examples/nvmrobust_cli /tmp/nvmrobust_check_fleet_asan.json
+fi
 
 echo "== all checks passed =="

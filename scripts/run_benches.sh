@@ -42,6 +42,10 @@ run mvm_perf "$BUILD/bench/bench_mvm_perf" \
 # saturation, max_batch 1 vs 32; exits nonzero if batching fails to beat
 # batch-1 or a reply changes with batch composition.
 run serve "$BUILD/bench/bench_serve"
+# Fleet lifetime: the same aging fleet under all four recalibration
+# policies; exits nonzero unless threshold/budgeted beat both the never
+# and always baselines on accuracy per unit recalibration energy.
+run fleet "$BUILD/bench/bench_fleet_lifetime"
 
 echo "== bench manifests =="
 ls -l BENCH_*.json

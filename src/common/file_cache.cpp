@@ -3,11 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "common/health.h"
@@ -49,9 +52,55 @@ void quarantine(const std::string& path, const char* why) {
   if (ec) std::filesystem::remove(path, ec);
 }
 
-/// cache_load body; the public wrapper adds hit/miss accounting.
-bool load_entry(const std::string& name, const std::string& tag,
-                const std::function<void(BinaryReader&)>& load);
+/// What one disk probe found. Corruption is distinguished from a plain
+/// miss because it drives the quarantine memo's backoff.
+enum class LoadOutcome { kHit, kMiss, kCorrupt };
+
+/// cache_load body; the public wrapper adds hit/miss accounting and the
+/// quarantine memo.
+LoadOutcome load_entry(const std::string& name, const std::string& tag,
+                       const std::function<void(BinaryReader&)>& load);
+
+/// In-memory record of a key that failed verification at least once. The
+/// next cache_store of the key parks its payload here; lookups during the
+/// backoff window are served from this copy instead of re-probing the
+/// evidently unreliable disk slot (and re-paying the recompute).
+struct QuarantineMemo {
+  int corrupt_count = 0;
+  int backoff_remaining = 0;  ///< disk probes to skip before retrying
+  bool warned = false;        ///< one warning per key, not per lookup
+  bool has_payload = false;
+  std::string tag;
+  std::string payload;
+};
+
+constexpr int kMaxBackoff = 64;
+
+std::mutex& memo_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<std::string, QuarantineMemo>& memo_map() {
+  // Leaked: cache_load may run during static destruction of other TUs.
+  static auto* m = new std::unordered_map<std::string, QuarantineMemo>();
+  return *m;
+}
+
+/// Replays the memoized payload through `load`. False if the memo holds
+/// nothing for this tag (or the payload does not parse).
+bool serve_from_memo(const QuarantineMemo& q, const std::string& tag,
+                     const std::function<void(BinaryReader&)>& load) {
+  if (!q.has_payload || q.tag != tag) return false;
+  try {
+    std::istringstream ps(q.payload);
+    BinaryReader r(ps);
+    load(r);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
 
 }  // namespace
 
@@ -66,29 +115,83 @@ std::string cache_dir() {
 bool cache_load(const std::string& name, const std::string& tag,
                 const std::function<void(BinaryReader&)>& load) {
   NVM_TRACE_SPAN("cache/file/load");
-  const bool ok = load_entry(name, tag, load);
-  (ok ? hits() : misses()).add();
-  return ok;
+  static metrics::Counter& memo_hits =
+      metrics::counter("cache/file/memo_hits");
+  // Backoff fast path: a key that recently failed verification skips the
+  // disk probe entirely and serves the memoized payload.
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex());
+    auto it = memo_map().find(name);
+    if (it != memo_map().end() && it->second.backoff_remaining > 0) {
+      --it->second.backoff_remaining;
+      if (serve_from_memo(it->second, tag, load)) {
+        memo_hits.add();
+        hits().add();
+        return true;
+      }
+    }
+  }
+  const LoadOutcome out = load_entry(name, tag, load);
+  if (out == LoadOutcome::kHit) {
+    std::lock_guard<std::mutex> lock(memo_mutex());
+    memo_map().erase(name);  // the slot verified again; stand down
+    hits().add();
+    return true;
+  }
+  bool served = false;
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex());
+    if (out == LoadOutcome::kCorrupt) {
+      QuarantineMemo& q = memo_map()[name];
+      ++q.corrupt_count;
+      q.backoff_remaining =
+          std::min(kMaxBackoff, 1 << std::min(q.corrupt_count, 6));
+      if (!q.warned) {
+        q.warned = true;
+        NVM_LOG(Warn) << "cache entry " << name
+                      << " keeps failing verification; memoizing its next "
+                         "store and backing off "
+                      << q.backoff_remaining
+                      << " lookup(s) before re-probing disk";
+      }
+      served = serve_from_memo(q, tag, load);
+    } else {
+      // Plain miss. If the key corrupted earlier and we hold its fresh
+      // recompute, serve that — the quarantine already emptied the slot
+      // once, and a store may be failing to stick.
+      auto it = memo_map().find(name);
+      if (it != memo_map().end())
+        served = serve_from_memo(it->second, tag, load);
+    }
+  }
+  if (served) memo_hits.add();
+  (served ? hits() : misses()).add();
+  return served;
+}
+
+void reset_file_cache_memo_for_tests() {
+  std::lock_guard<std::mutex> lock(memo_mutex());
+  memo_map().clear();
 }
 
 namespace {
 
-bool load_entry(const std::string& name, const std::string& tag,
-                const std::function<void(BinaryReader&)>& load) {
+LoadOutcome load_entry(const std::string& name, const std::string& tag,
+                       const std::function<void(BinaryReader&)>& load) {
   const std::string path = cache_dir() + "/" + name;
   std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
+  if (!is) return LoadOutcome::kMiss;
   std::string payload;
   try {
     BinaryReader header(is);
     if (header.read_u32() != kMagic) {
       NVM_LOG(Info) << "cache entry " << name
                     << " has unknown/legacy format; recomputing";
-      return false;
+      return LoadOutcome::kMiss;
     }
     if (header.read_string() != tag) {
       NVM_LOG(Info) << "cache entry " << name << " stale (tag mismatch)";
-      return false;
+      return LoadOutcome::kMiss;
     }
     const std::uint32_t want_crc = header.read_u32();
     const std::uint64_t size = header.read_u64();
@@ -97,27 +200,27 @@ bool load_entry(const std::string& name, const std::string& tag,
     is.read(payload.data(), static_cast<std::streamsize>(size));
     if (static_cast<std::uint64_t>(is.gcount()) != size) {
       quarantine(path, "is truncated");
-      return false;
+      return LoadOutcome::kCorrupt;
     }
     if (crc32(payload.data(), payload.size()) != want_crc) {
       quarantine(path, "failed its checksum");
-      return false;
+      return LoadOutcome::kCorrupt;
     }
   } catch (const std::exception&) {
     // Garbage header: truncated fields or an absurd length prefix.
     quarantine(path, "has a corrupt header");
-    return false;
+    return LoadOutcome::kCorrupt;
   }
   try {
     std::istringstream ps(payload);
     BinaryReader r(ps);
     load(r);
-    return true;
+    return LoadOutcome::kHit;
   } catch (const std::exception&) {
     // Checksum passed but the payload doesn't parse — a schema change the
     // tag failed to capture, or a bug in the loader. Same recovery path.
     quarantine(path, "parsed inconsistently");
-    return false;
+    return LoadOutcome::kCorrupt;
   }
 }
 
@@ -151,6 +254,19 @@ void cache_store(const std::string& name, const std::string& tag,
     NVM_CHECK(w.ok(), "cache payload serialization failed for " << name);
   }
   const std::string payload = buf.str();
+
+  // A key under corruption quarantine parks its freshly computed payload
+  // in the memo: if the disk slot stays bad (or the store below fails to
+  // stick), later lookups serve this copy instead of recomputing again.
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex());
+    auto it = memo_map().find(name);
+    if (it != memo_map().end()) {
+      it->second.tag = tag;
+      it->second.payload = payload;
+      it->second.has_payload = true;
+    }
+  }
 
   std::ostringstream hbuf;
   {

@@ -9,6 +9,15 @@
 // caller: it is quarantined on disk as <name>.corrupt, counted under
 // HealthCounter::CacheCorrupt, and reported as a miss so the artifact is
 // recomputed — corruption costs one recompute, never a wrong experiment.
+//
+// A key that keeps failing (bad disk, a writer that keeps losing the
+// store) would otherwise pay that recompute on EVERY lookup. cache_load
+// therefore keeps an in-memory quarantine memo: once a key corrupts, the
+// next cache_store of that key is memoized, subsequent lookups are served
+// from the memo (counted under cache/file/memo_hits), and disk re-probes
+// back off exponentially (bounded). The memo is keyed by tag too, so a
+// legitimate tag change still recomputes. One warning per key, not per
+// lookup.
 #pragma once
 
 #include <functional>
@@ -30,6 +39,10 @@ bool cache_load(const std::string& name, const std::string& tag,
 /// Stores cache entry `name` with `tag`; `save` writes the payload.
 void cache_store(const std::string& name, const std::string& tag,
                  const std::function<void(BinaryWriter&)>& save);
+
+/// Testing hook: drops the in-memory quarantine memo so corruption
+/// scenarios can be replayed from a clean slate.
+void reset_file_cache_memo_for_tests();
 
 /// Convenience: load-or-compute. `compute` runs only on cache miss and its
 /// result is persisted via `save`.

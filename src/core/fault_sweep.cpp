@@ -7,7 +7,6 @@
 
 #include "attack/attack_model.h"
 #include "common/check.h"
-#include "common/serialize.h"
 #include "common/thread_pool.h"
 #include "core/evaluator.h"
 #include "core/report.h"
@@ -17,26 +16,11 @@ namespace nvm::core {
 
 namespace {
 
-/// Functionally-identical copy of the prepared network (fresh layer
-/// objects, same weights), obtained via a serialize roundtrip.
-nn::Network clone_network(const PreparedTask& prepared) {
-  Rng rng(prepared.task.train_config.seed);
-  nn::Network copy = prepared.task.make_network(rng);
-  std::stringstream buf;
-  BinaryWriter w(buf);
-  // save() only reads parameters; the const_cast spares Network a const
-  // save overload.
-  const_cast<nn::Network&>(prepared.network).save(w);
-  BinaryReader r(buf);
-  copy.load(r);
-  return copy;
-}
-
 /// One evaluation replica: a network copy plus (while a grid point is
 /// active) its crossbar deployment.
 struct Replica {
   explicit Replica(const PreparedTask& prepared)
-      : net(clone_network(prepared)) {}
+      : net(prepared.clone_network()) {}
   nn::Network net;
   std::unique_ptr<puma::HwDeployment> deployment;
 };

@@ -199,6 +199,7 @@ RunManifest::RunManifest(RunManifest&& other) noexcept
       written_(other.written_),
       xbar_(std::move(other.xbar_)),
       results_(std::move(other.results_)),
+      series_(std::move(other.series_)),
       notes_(std::move(other.notes_)),
       metrics_base_(std::move(other.metrics_base_)) {
   other.written_ = true;  // the moved-from shell must never write
@@ -226,6 +227,11 @@ void RunManifest::set_xbar(const xbar::CrossbarConfig& cfg) { xbar_ = cfg; }
 
 void RunManifest::add_result(const std::string& name, double value) {
   results_.emplace_back(name, value);
+}
+
+void RunManifest::add_series(const std::string& name,
+                             std::vector<double> values) {
+  series_.emplace_back(name, std::move(values));
 }
 
 void RunManifest::set_note(const std::string& key, const std::string& value) {
@@ -324,6 +330,16 @@ void RunManifest::write() {
   for (const auto& [name, value] : results_) {
     j.key(name);
     j.value(value);
+  }
+  j.end_object();
+
+  j.key("series");
+  j.begin_object();
+  for (const auto& [name, values] : series_) {
+    j.key(name);
+    j.begin_array();
+    for (const double v : values) j.value(v);
+    j.end_array();
   }
   j.end_object();
 

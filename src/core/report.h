@@ -100,6 +100,9 @@ class RunManifest {
   void set_xbar(const xbar::CrossbarConfig& cfg);
   /// Records one named numeric result (accuracies, NF values, ...).
   void add_result(const std::string& name, double value);
+  /// Records one named numeric series (fleet curves, sweep rows, ...);
+  /// written as a JSON array under "series".
+  void add_series(const std::string& name, std::vector<double> values);
   /// Records one free-form annotation (model arch, attack settings, ...).
   void set_note(const std::string& key, const std::string& value);
 
@@ -114,6 +117,7 @@ class RunManifest {
   bool written_ = false;
   std::optional<xbar::CrossbarConfig> xbar_;
   std::vector<std::pair<std::string, double>> results_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
   std::vector<std::pair<std::string, std::string>> notes_;
   std::vector<metrics::MetricValue> metrics_base_;
 };

@@ -7,6 +7,7 @@
 #include "common/file_cache.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/serialize.h"
 #include "common/trace.h"
 
 namespace nvm::core {
@@ -99,6 +100,19 @@ Task task_simagenet() {
 
 std::vector<Task> all_tasks() {
   return {task_scifar10(), task_scifar100(), task_simagenet()};
+}
+
+nn::Network PreparedTask::clone_network() const {
+  Rng rng(task.train_config.seed);
+  nn::Network copy = task.make_network(rng);
+  std::stringstream buf;
+  BinaryWriter w(buf);
+  // save() only reads parameters; the const_cast spares Network a const
+  // save overload.
+  const_cast<nn::Network&>(network).save(w);
+  BinaryReader r(buf);
+  copy.load(r);
+  return copy;
 }
 
 std::vector<Tensor> PreparedTask::calibration_images(std::int64_t count) const {

@@ -56,6 +56,12 @@ struct PreparedTask {
   nn::Network network;
   float clean_test_accuracy = 0.0f;
 
+  /// Functionally-identical copy of the trained network (fresh layer
+  /// objects, same weights), via a serialize roundtrip. Replica fan-outs
+  /// (fault sweep, fleet evaluation) deploy crossbars on these copies so
+  /// the prepared network itself is never mutated.
+  nn::Network clone_network() const;
+
   /// First few training images — used to calibrate DAC ranges at
   /// crossbar deployment.
   std::vector<Tensor> calibration_images(std::int64_t count = 8) const;

@@ -1,0 +1,42 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nvm::fleet {
+
+namespace {
+/// Stream tag separating chip manufacture from every other consumer of
+/// the fleet seed (epoch sampling uses its own tag in the simulator).
+constexpr std::uint64_t kChipStream = 0xC41B5EEDULL;
+}  // namespace
+
+double ChipInstance::predicted_decay(double fleet_time_s) const {
+  if (drift_nu <= 0.0) return 1.0;
+  return std::pow(1.0 + age_s(fleet_time_s) / drift_t0, -drift_nu);
+}
+
+ChipInstance make_chip(const FleetOptions& opt, std::int64_t id) {
+  NVM_CHECK(id >= 0 && id < opt.n_chips,
+            "chip id " << id << " outside fleet of " << opt.n_chips);
+  Rng c(derive_seed(derive_seed(opt.seed, kChipStream),
+                    static_cast<std::uint64_t>(id)));
+  ChipInstance chip;
+  chip.id = id;
+  chip.seed = c.next();
+  // One quality factor across all fault modes: a badly-formed die is bad
+  // at everything. Rates stay sub-unit partitions under any draw.
+  const double f = std::exp(opt.rate_log_sigma * c.normal());
+  chip.stuck_on_rate = std::min(0.25, opt.stuck_on_rate * f);
+  chip.stuck_off_rate = std::min(0.25, opt.stuck_off_rate * f);
+  chip.dead_row_rate = std::min(0.5, opt.dead_row_rate * f);
+  chip.dead_col_rate = std::min(0.5, opt.dead_col_rate * f);
+  chip.drift_nu = c.uniform(opt.drift_nu_lo, opt.drift_nu_hi);
+  chip.drift_t0 = opt.drift_t0;
+  chip.programmed_at_s = -c.uniform(0.0, opt.initial_age_spread_s);
+  return chip;
+}
+
+}  // namespace nvm::fleet

@@ -1,0 +1,156 @@
+#include "fleet/scheduler.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/metrics.h"
+
+namespace nvm::fleet {
+
+namespace {
+
+metrics::Counter& reprogram_counter() {
+  static metrics::Counter& c = metrics::counter("fleet/recalibrations");
+  return c;
+}
+metrics::Counter& refit_counter() {
+  static metrics::Counter& c = metrics::counter("fleet/refits");
+  return c;
+}
+metrics::Counter& retire_counter() {
+  static metrics::Counter& c = metrics::counter("fleet/retirements");
+  return c;
+}
+
+}  // namespace
+
+RecalibrationScheduler::RecalibrationScheduler(SchedulerConfig cfg,
+                                               double unit_reprogram_energy_nj)
+    : cfg_(cfg), unit_energy_nj_(unit_reprogram_energy_nj) {
+  NVM_CHECK(unit_energy_nj_ >= 0.0);
+  NVM_CHECK(cfg_.refit_decay_threshold >= cfg_.reprogram_decay_threshold,
+            "refit threshold must not be below the reprogram threshold "
+            "(refit is the earlier, cheaper intervention): refit="
+                << cfg_.refit_decay_threshold
+                << " reprogram=" << cfg_.reprogram_decay_threshold);
+}
+
+Action RecalibrationScheduler::decide(const ChipInstance& chip,
+                                      double fleet_time_s) const {
+  if (chip.retired) return Action::None;
+  if (chip.expected_defect_fraction() >= cfg_.retire_defect_fraction)
+    return Action::Retire;
+  const double decay = chip.predicted_decay(fleet_time_s);
+  if (decay < cfg_.reprogram_decay_threshold) return Action::Reprogram;
+  if (decay < cfg_.refit_decay_threshold) return Action::Refit;
+  return Action::None;
+}
+
+void RecalibrationScheduler::apply(ChipInstance& chip, Action a,
+                                   double fleet_time_s,
+                                   ActionSummary& summary) {
+  switch (a) {
+    case Action::None:
+      break;
+    case Action::Refit:
+      chip.refit = true;
+      ++chip.refits;
+      ++summary.refits;
+      summary.energy_nj += cfg_.refit_cost_fraction * unit_energy_nj_;
+      refit_counter().add();
+      break;
+    case Action::Reprogram:
+      // Freshly-written arrays have not decayed and are freshly
+      // calibrated: the drift clock resets and any refit compensation is
+      // superseded.
+      chip.programmed_at_s = fleet_time_s;
+      chip.refit = false;
+      ++chip.reprograms;
+      ++summary.reprograms;
+      summary.energy_nj += unit_energy_nj_;
+      reprogram_counter().add();
+      break;
+    case Action::Retire:
+      chip.retired = true;
+      ++summary.retirements;
+      retire_counter().add();
+      break;
+  }
+}
+
+ActionSummary RecalibrationScheduler::run_epoch(
+    std::vector<ChipInstance>& chips, double fleet_time_s) {
+  ActionSummary summary;
+  // The refit is a subscription, not a grant: the surrogate gain must be
+  // re-fitted as the silicon keeps drifting, so the flag (and its charge)
+  // lasts one epoch unless the policy re-issues it below.
+  for (ChipInstance& chip : chips)
+    if (!chip.retired) chip.refit = false;
+  switch (cfg_.policy) {
+    case PolicyKind::Never:
+      break;
+    case PolicyKind::Always:
+      for (ChipInstance& chip : chips)
+        if (!chip.retired)
+          apply(chip, Action::Reprogram, fleet_time_s, summary);
+      break;
+    case PolicyKind::Threshold:
+      for (ChipInstance& chip : chips)
+        apply(chip, decide(chip, fleet_time_s), fleet_time_s, summary);
+      break;
+    case PolicyKind::BudgetedGreedy: {
+      // Worst predicted retention first; retirement is outside the budget
+      // (it reduces future spend rather than consuming any).
+      std::vector<ChipInstance*> order;
+      order.reserve(chips.size());
+      for (ChipInstance& chip : chips)
+        if (!chip.retired) order.push_back(&chip);
+      std::sort(order.begin(), order.end(),
+                [fleet_time_s](const ChipInstance* a, const ChipInstance* b) {
+                  const double da = a->predicted_decay(fleet_time_s);
+                  const double db = b->predicted_decay(fleet_time_s);
+                  if (da != db) return da < db;
+                  return a->id < b->id;  // deterministic tie-break
+                });
+      std::int64_t budget = cfg_.budget_actions_per_epoch;
+      for (ChipInstance* chip : order) {
+        const Action a = decide(*chip, fleet_time_s);
+        if (a == Action::None) continue;
+        if (a == Action::Retire) {
+          apply(*chip, a, fleet_time_s, summary);
+          continue;
+        }
+        if (budget <= 0) continue;
+        apply(*chip, a, fleet_time_s, summary);
+        --budget;
+      }
+      break;
+    }
+  }
+  total_energy_nj_ += summary.energy_nj;
+  return summary;
+}
+
+PolicyKind RecalibrationScheduler::parse_policy(const std::string& name) {
+  if (name == "never") return PolicyKind::Never;
+  if (name == "always") return PolicyKind::Always;
+  if (name == "threshold") return PolicyKind::Threshold;
+  if (name == "budgeted" || name == "budgeted_greedy")
+    return PolicyKind::BudgetedGreedy;
+  NVM_CHECK(false, "unknown recalibration policy '"
+                       << name
+                       << "' (want never|always|threshold|budgeted)");
+  return PolicyKind::Never;
+}
+
+const char* RecalibrationScheduler::policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Never: return "never";
+    case PolicyKind::Always: return "always";
+    case PolicyKind::Threshold: return "threshold";
+    case PolicyKind::BudgetedGreedy: return "budgeted";
+  }
+  return "?";
+}
+
+}  // namespace nvm::fleet

@@ -1,0 +1,74 @@
+// SLA monitoring for the chip fleet.
+//
+// The operator's contract is not "the mean chip is fine": it is per-
+// cohort floors on measured accuracy plus a fleet availability floor.
+// SlaMonitor turns each epoch's sampled measurements into a pass/fail
+// report against configurable SLOs:
+//
+//   * availability — alive / (alive + retired), read back from the
+//     nvm::metrics registry gauges (fleet/chips_alive, fleet/chips_
+//     retired) that the simulator publishes each epoch, so any external
+//     scraper sees exactly what the monitor judged;
+//   * per-cohort accuracy — sampled chips are bucketed by drift age
+//     (cohort_age_s-wide buckets; width 0 = one fleet-wide cohort) and
+//     each cohort's mean clean / adversarial accuracy is held against
+//     its floor. Cohorts with fewer than min_cohort_samples sampled
+//     chips are reported but not judged (the estimator is too noisy).
+//
+// Every violation bumps the fleet/sla_violations counter; the monitor
+// also keeps a running total for end-of-run reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+
+namespace nvm::fleet {
+
+struct SlaConfig {
+  double min_clean_acc = 30.0;    ///< % floor on cohort mean clean accuracy
+  /// % floor on cohort mean PGD accuracy; <= 0 disables the check (and it
+  /// never fires when PGD was not measured).
+  double min_adv_acc = 0.0;
+  double min_availability = 0.9;  ///< floor on alive fraction
+  /// Age-bucket width for cohorts (seconds); 0 = single fleet cohort.
+  double cohort_age_s = 0.0;
+  std::int64_t min_cohort_samples = 2;
+};
+
+struct CohortStatus {
+  std::string name;            ///< "age[0,2s)" or "fleet"
+  std::int64_t samples = 0;
+  float clean = -1.0f;         ///< cohort mean; -1 = not measured
+  float pgd = -1.0f;
+  bool judged = false;         ///< enough samples to hold against the SLO
+  bool violated = false;
+};
+
+struct SlaReport {
+  double availability = 1.0;
+  bool availability_ok = true;
+  std::vector<CohortStatus> cohorts;  ///< ascending age order
+  std::int64_t violations = 0;        ///< this epoch
+};
+
+class SlaMonitor {
+ public:
+  explicit SlaMonitor(SlaConfig cfg);
+
+  /// Judges one epoch: availability from the fleet gauges, cohort
+  /// accuracy from this epoch's sampled evaluations. Bumps
+  /// fleet/sla_violations once per violated SLO.
+  SlaReport observe(const std::vector<ChipEval>& sampled);
+
+  std::int64_t total_violations() const { return total_violations_; }
+  const SlaConfig& config() const { return cfg_; }
+
+ private:
+  SlaConfig cfg_;
+  std::int64_t total_violations_ = 0;
+};
+
+}  // namespace nvm::fleet

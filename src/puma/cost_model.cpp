@@ -71,17 +71,24 @@ LayerCost cost_of(const GemmShape& shape, const xbar::CrossbarConfig& cfg,
   return c;
 }
 
-}  // namespace
-
-CostReport estimate_cost(nn::Network& net, const Tensor& sample,
-                         const xbar::CrossbarConfig& cfg, const HwConfig& hw,
-                         const CostParams& params) {
+/// Runs one probe forward pass and returns every GEMM shape the network
+/// issued, restoring the original engines afterwards.
+std::vector<GemmShape> probe_shapes(nn::Network& net, const Tensor& sample) {
   std::vector<GemmShape> shapes;
   net.set_mvm_engines([&](nn::Layer&) {
     return std::make_shared<ShapeProbeEngine>(shapes);
   });
   (void)net.forward(sample, nn::Mode::Eval);
   net.reset_mvm_engines();
+  return shapes;
+}
+
+}  // namespace
+
+CostReport estimate_cost(nn::Network& net, const Tensor& sample,
+                         const xbar::CrossbarConfig& cfg, const HwConfig& hw,
+                         const CostParams& params) {
+  const std::vector<GemmShape> shapes = probe_shapes(net, sample);
 
   CostReport report;
   double util_sum = 0.0;
@@ -97,6 +104,36 @@ CostReport estimate_cost(nn::Network& net, const Tensor& sample,
   if (!report.layers.empty())
     report.mean_utilization = util_sum / static_cast<double>(report.layers.size());
   return report;
+}
+
+ReprogramCost estimate_reprogram_cost(nn::Network& net, const Tensor& sample,
+                                      const xbar::CrossbarConfig& cfg,
+                                      const HwConfig& hw,
+                                      const CostParams& p) {
+  const std::vector<GemmShape> shapes = probe_shapes(net, sample);
+
+  ReprogramCost r;
+  for (const GemmShape& shape : shapes) {
+    const std::int64_t row_tiles = (shape.k + cfg.rows - 1) / cfg.rows;
+    const std::int64_t col_tiles = (shape.m + cfg.cols - 1) / cfg.cols;
+    // One physical array per (tile, polarity, weight slice); whole arrays
+    // are written — zero padding is programmed to g_off, not skipped.
+    const std::int64_t xbars =
+        row_tiles * col_tiles * 2 * hw.weight_slices();
+    const std::int64_t cells = xbars * cfg.rows * cfg.cols;
+    r.crossbars += xbars;
+    r.cells_written += cells;
+    r.write_energy_nj +=
+        static_cast<double>(cells) * p.writes_per_cell * p.e_write_pj * 1e-3;
+    // Writes are row-parallel within an array; arrays are programmed in
+    // groups of parallel_tiles, like reads.
+    const double groups =
+        std::ceil(static_cast<double>(xbars) /
+                  static_cast<double>(std::max<std::int64_t>(1, p.parallel_tiles)));
+    r.write_latency_us += groups * static_cast<double>(cfg.rows) *
+                          p.writes_per_cell * p.t_write_ns * 1e-3;
+  }
+  return r;
 }
 
 }  // namespace nvm::puma

@@ -34,6 +34,13 @@ struct CostParams {
   double input_activity = 0.15;
   /// Crossbar tiles operating in parallel (PUMA packs many MVMUs).
   std::int64_t parallel_tiles = 8;
+
+  // -- Write (programming) cost, used by estimate_reprogram_cost --
+  double e_write_pj = 50.0;    ///< energy per cell write pulse (SET/RESET)
+  double t_write_ns = 100.0;   ///< duration of one write pulse
+  /// Average program-and-verify iterations per cell; multi-level NVM
+  /// needs several pulses to land inside a conductance window.
+  double writes_per_cell = 4.0;
 };
 
 struct GemmShape {
@@ -72,5 +79,23 @@ struct CostReport {
 CostReport estimate_cost(nn::Network& net, const Tensor& sample,
                          const xbar::CrossbarConfig& cfg, const HwConfig& hw,
                          const CostParams& params = {});
+
+/// Cost of (re)programming every crossbar a deployment of `net` occupies:
+/// the maintenance-side counterpart of the per-inference read cost above.
+/// The fleet recalibration scheduler prices its actions with this.
+struct ReprogramCost {
+  std::int64_t crossbars = 0;      ///< tile instances (tiles x pol x slices)
+  std::int64_t cells_written = 0;  ///< crossbars x rows x cols (full arrays)
+  double write_energy_nj = 0.0;
+  double write_latency_us = 0.0;   ///< row-parallel writes, tiles grouped
+};
+
+/// Estimates the one-shot cost of re-programming `net`'s full tile set on
+/// crossbars of `cfg` with mapping `hw`. Same probe-forward discovery as
+/// estimate_cost; the network is left untouched.
+ReprogramCost estimate_reprogram_cost(nn::Network& net, const Tensor& sample,
+                                      const xbar::CrossbarConfig& cfg,
+                                      const HwConfig& hw,
+                                      const CostParams& params = {});
 
 }  // namespace nvm::puma

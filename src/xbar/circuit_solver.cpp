@@ -77,10 +77,11 @@ SolverWorkspace& tls_workspace() {
 ///
 /// `g` is the programmed conductance matrix in row-major doubles; it is
 /// read-only, so one programmed crossbar can be solved from many threads.
-Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
-                   std::span<const double> g, const Tensor& v,
-                   SolverWorkspace& ws, SolveStats& stats,
-                   const SolverSeed* seed = nullptr) {
+/// One attempt only — the retry policy lives in solve_nodal below.
+Tensor solve_nodal_once(const CrossbarConfig& cfg, const SolverOptions& opt,
+                        std::span<const double> g, const Tensor& v,
+                        SolverWorkspace& ws, SolveStats& stats,
+                        const SolverSeed* seed = nullptr) {
   NVM_TRACE_SPAN("xbar/solver/solve");
   const std::int64_t rows = cfg.rows, cols = cfg.cols;
   NVM_CHECK_EQ(v.numel(), rows);
@@ -154,6 +155,13 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
   }
 
   const bool batched = opt.ordering == SweepOrdering::kRedBlack;
+  // Outer-iteration damping. omega == 1.0 takes each plane's exact line
+  // solve (the historical update, kept bit-identical); omega < 1 blends
+  // v += omega * (solve - v), which slows but stabilizes the sweep on
+  // arrays where the exact update overshoots.
+  const double omega = opt.relaxation;
+  NVM_CHECK(omega > 0.0 && omega <= 1.0,
+            "solver relaxation must be in (0, 1], got " << omega);
   stats = SolveStats{};
   int sweep = 0;
   for (; sweep < opt.max_sweeps; ++sweep) {
@@ -217,8 +225,11 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
           sp[i] = (rp[i] + gw * sn[i]) / dp[i];
       }
       for (std::int64_t i = 0; i < rows; ++i)
-        for (std::int64_t j = 0; j < cols; ++j)
-          ws.vr[idx(i, j)] = solb[static_cast<std::size_t>(j * rows + i)];
+        for (std::int64_t j = 0; j < cols; ++j) {
+          const std::size_t k = idx(i, j);
+          const double s = solb[static_cast<std::size_t>(j * rows + i)];
+          ws.vr[k] = omega == 1.0 ? s : ws.vr[k] + omega * (s - ws.vr[k]);
+        }
 
       // Black plane — all column chains in lockstep. Unknowns vc[*][j]
       // with vr held fixed; the natural [i*cols + j] layout already has
@@ -250,7 +261,7 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
           rp[j] -= m * rm[j];
         }
       }
-      {
+      if (omega == 1.0) {
         const std::size_t off = idx(rows - 1, 0);
         const double* dp = diagb + off;
         const double* rp = rhsb + off;
@@ -260,16 +271,42 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
           max_delta = std::max(max_delta, std::abs(s - vcp[j]));
           vcp[j] = s;
         }
-      }
-      for (std::int64_t i = rows - 1; i-- > 0;) {
-        const double* dp = diagb + i * cols;
-        const double* rp = rhsb + i * cols;
-        const double* vn = ws.vc.data() + (i + 1) * cols;
-        double* vcp = ws.vc.data() + i * cols;
-        for (std::int64_t j = 0; j < cols; ++j) {
-          const double s = (rp[j] + gw * vn[j]) / dp[j];
-          max_delta = std::max(max_delta, std::abs(s - vcp[j]));
-          vcp[j] = s;
+        for (std::int64_t i = rows - 1; i-- > 0;) {
+          const double* dp2 = diagb + i * cols;
+          const double* rp2 = rhsb + i * cols;
+          const double* vn = ws.vc.data() + (i + 1) * cols;
+          double* vcp2 = ws.vc.data() + i * cols;
+          for (std::int64_t j = 0; j < cols; ++j) {
+            const double s = (rp2[j] + gw * vn[j]) / dp2[j];
+            max_delta = std::max(max_delta, std::abs(s - vcp2[j]));
+            vcp2[j] = s;
+          }
+        }
+      } else {
+        // Damped update: the Thomas recurrence at row i must read the
+        // EXACT solution of row i+1, not the blended iterate, so the
+        // back-substitution runs in solb and only the final blend
+        // touches vc. max_delta stays the distance to the exact plane
+        // solve (not the omega-scaled step), so damping cannot fake
+        // convergence.
+        {
+          const std::size_t off = idx(rows - 1, 0);
+          const double* dp = diagb + off;
+          const double* rp = rhsb + off;
+          double* sp = solb + off;
+          for (std::int64_t j = 0; j < cols; ++j) sp[j] = rp[j] / dp[j];
+        }
+        for (std::int64_t i = rows - 1; i-- > 0;) {
+          const double* dp = diagb + i * cols;
+          const double* rp = rhsb + i * cols;
+          const double* sn = solb + (i + 1) * cols;
+          double* sp = solb + i * cols;
+          for (std::int64_t j = 0; j < cols; ++j)
+            sp[j] = (rp[j] + gw * sn[j]) / dp[j];
+        }
+        for (std::size_t k = 0; k < cells; ++k) {
+          max_delta = std::max(max_delta, std::abs(solb[k] - ws.vc[k]));
+          ws.vc[k] += omega * (solb[k] - ws.vc[k]);
         }
       }
     } else {
@@ -292,8 +329,11 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
           ws.rhs[static_cast<std::size_t>(j)] = r;
         }
         solve_tridiagonal(ws.diag, ws.rhs, gw, ws.sol);
-        for (std::int64_t j = 0; j < cols; ++j)
-          ws.vr[idx(i, j)] = ws.sol[static_cast<std::size_t>(j)];
+        for (std::int64_t j = 0; j < cols; ++j) {
+          const std::size_t k = idx(i, j);
+          const double s = ws.sol[static_cast<std::size_t>(j)];
+          ws.vr[k] = omega == 1.0 ? s : ws.vr[k] + omega * (s - ws.vr[k]);
+        }
       }
 
       // Column chains: unknowns vc[*][j]; vr held fixed.
@@ -314,10 +354,9 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
         solve_tridiagonal(ws.diag, ws.rhs, gw, ws.sol);
         for (std::int64_t i = 0; i < rows; ++i) {
           const std::size_t k = idx(i, j);
-          max_delta = std::max(
-              max_delta,
-              std::abs(ws.sol[static_cast<std::size_t>(i)] - ws.vc[k]));
-          ws.vc[k] = ws.sol[static_cast<std::size_t>(i)];
+          const double s = ws.sol[static_cast<std::size_t>(i)];
+          max_delta = std::max(max_delta, std::abs(s - ws.vc[k]));
+          ws.vc[k] = omega == 1.0 ? s : ws.vc[k] + omega * (s - ws.vc[k]);
         }
       }
     }
@@ -342,22 +381,46 @@ Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
   static metrics::Counter& m_sweeps = metrics::counter("solver/sweeps");
   m_solves.add();
   m_sweeps.add(static_cast<std::uint64_t>(sweep));
-  if (!stats.ok()) {
-    const std::uint64_t n = bump(HealthCounter::SolverNonConverged);
-    if (health_should_log(n))
-      NVM_LOG(Warn) << "crossbar solve " << (stats.finite ? "hit max_sweeps"
-                                                          : "diverged")
-                    << " on " << cfg.name << " (" << rows << "x" << cols
-                    << "): sweeps=" << sweep
-                    << " last_delta=" << stats.last_delta
-                    << " tol=" << opt.tol * cfg.v_read
-                    << " (non-converged total " << n << ")";
-  }
 
   Tensor out({cols});
   for (std::int64_t j = 0; j < cols; ++j)
     out[j] = static_cast<float>(ws.vc[idx(rows - 1, j)] * gk);
   guard_output_finite(out, "circuit_solver");
+  return out;
+}
+
+/// solve_nodal_once plus the failure policy: a solve that exhausts
+/// max_sweeps or diverges is retried ONCE from a cold start (a bad warm
+/// seed may be what diverged) with halved relaxation and doubled sweep
+/// budget before the scrubbed output is accepted. Only the final outcome
+/// bumps HealthCounter::SolverNonConverged / warns; retries are counted
+/// under solver/retries and reported in SolveStats::retries.
+Tensor solve_nodal(const CrossbarConfig& cfg, const SolverOptions& opt,
+                   std::span<const double> g, const Tensor& v,
+                   SolverWorkspace& ws, SolveStats& stats,
+                   const SolverSeed* seed = nullptr) {
+  Tensor out = solve_nodal_once(cfg, opt, g, v, ws, stats, seed);
+  if (!stats.ok() && opt.retry_on_nonconvergence) {
+    static metrics::Counter& m_retries = metrics::counter("solver/retries");
+    m_retries.add();
+    SolverOptions damped = opt;
+    damped.relaxation = 0.5 * opt.relaxation;
+    damped.max_sweeps = 2 * opt.max_sweeps;
+    out = solve_nodal_once(cfg, damped, g, v, ws, stats, nullptr);
+    stats.retries = 1;
+  }
+  if (!stats.ok()) {
+    const std::uint64_t n = bump(HealthCounter::SolverNonConverged);
+    if (health_should_log(n))
+      NVM_LOG(Warn) << "crossbar solve " << (stats.finite ? "hit max_sweeps"
+                                                          : "diverged")
+                    << " on " << cfg.name << " (" << cfg.rows << "x"
+                    << cfg.cols << "): sweeps=" << stats.sweeps_used
+                    << " retries=" << stats.retries
+                    << " last_delta=" << stats.last_delta
+                    << " tol=" << opt.tol * cfg.v_read
+                    << " (non-converged total " << n << ")";
+  }
   return out;
 }
 

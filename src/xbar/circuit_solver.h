@@ -63,6 +63,18 @@ struct SolverOptions {
   /// Costs about half a sweep, typically saves one or two full sweeps.
   /// Counted under solver/coarse_starts.
   bool coarse_start = true;
+  /// Under-relaxation factor for the outer block sweeps: each plane solve
+  /// moves the node voltages by `relaxation` times the exact line-solve
+  /// update. 1.0 (the default) takes the exact update and is bit-identical
+  /// to the historical solver; values in (0, 1) damp the outer iteration,
+  /// trading sweeps for stability on stiff / strongly nonlinear arrays.
+  double relaxation = 1.0;
+  /// When a solve exhausts max_sweeps or diverges, retry it once from a
+  /// cold start with halved relaxation and doubled max_sweeps before
+  /// accepting the scrubbed-output fallback. The retry is counted under
+  /// solver/retries and reported in SolveStats::retries; only a failure
+  /// of the *retry* bumps HealthCounter::SolverNonConverged.
+  bool retry_on_nonconvergence = true;
 };
 
 /// Outcome of one nodal solve. A solve that exhausts max_sweeps or
@@ -75,6 +87,7 @@ struct SolveStats {
   bool converged = false;  ///< tolerance met within max_sweeps
   bool finite = true;      ///< false if node voltages diverged to NaN/Inf
   double last_delta = 0.0; ///< final sweep's max node-voltage movement (V)
+  int retries = 0;         ///< damped cold re-solves taken after a failure
 
   bool ok() const { return converged && finite; }
 };

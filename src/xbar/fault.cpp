@@ -57,6 +57,11 @@ FaultModel::FaultModel(std::shared_ptr<const MvmModel> base, FaultOptions opt)
   }
 }
 
+void FaultModel::set_drift_time(double seconds) {
+  NVM_CHECK(seconds >= 0, "drift_time must be >= 0, got " << seconds);
+  opt_.drift_time = seconds;
+}
+
 std::string FaultModel::name() const {
   std::ostringstream os;
   os << base_->name() << "+fault(chip" << opt_.chip_seed;

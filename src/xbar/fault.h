@@ -74,6 +74,19 @@ class FaultModel final : public MvmModel {
   const FaultMap& map() const { return map_; }
   const FaultOptions& options() const { return opt_; }
 
+  /// Seconds since the last (re)programming, as seen by the drift law.
+  double drift_time() const { return opt_.drift_time; }
+
+  /// Moves the drift clock without rebuilding the model. The stuck-at /
+  /// line-open map depends only on (chip_seed, geometry) — never on the
+  /// drift clock — so mutating the age is safe and cheap; only the next
+  /// program() call observes the new decay factor.
+  void set_drift_time(double seconds);
+
+  /// Models tile re-programming: freshly written conductances have not yet
+  /// decayed, so the clock returns to zero. Stuck cells stay stuck.
+  void reset_drift_clock() { set_drift_time(0.0); }
+
  private:
   std::shared_ptr<const MvmModel> base_;
   FaultOptions opt_;

@@ -10,6 +10,7 @@
 #include "common/env.h"
 #include "common/file_cache.h"
 #include "common/health.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 
@@ -207,11 +208,25 @@ class FileCacheTest : public ::testing::Test {
     dir_ = std::filesystem::temp_directory_path() /
            ("nvm_cache_test_" + std::to_string(::getpid()));
     ::setenv("NVMROBUST_CACHE_DIR", dir_.c_str(), 1);
+    reset_file_cache_memo_for_tests();
   }
   void TearDown() override {
     ::unsetenv("NVMROBUST_CACHE_DIR");
     std::filesystem::remove_all(dir_);
+    reset_file_cache_memo_for_tests();
   }
+
+  /// Flips the last byte of an entry on disk (inside the payload).
+  void corrupt_entry(const std::string& name) {
+    const auto path = dir_ / name;
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    f.seekp(size - 1);
+    f.put('\xff');
+  }
+
   std::filesystem::path dir_;
 };
 
@@ -317,6 +332,58 @@ TEST_F(FileCacheTest, FailedPublishLeavesNoTmpBehind) {
                               [](BinaryWriter& w) { w.write_i64(5); }));
   EXPECT_FALSE(std::filesystem::exists(dir_ / "entry.bin.tmp"));
   EXPECT_TRUE(std::filesystem::is_directory(dir_ / "entry.bin"));
+}
+
+TEST_F(FileCacheTest, PersistentlyCorruptKeyRecomputesOnceThenServesMemo) {
+  // A slot that keeps losing its bytes must cost ONE recompute, not one
+  // per lookup: after the recompute is stored (and memoized), lookups are
+  // served from the memo even though the disk slot stays empty/bad.
+  cache_store("entry.bin", "tag", [](BinaryWriter& w) { w.write_i64(7); });
+  corrupt_entry("entry.bin");
+  EXPECT_FALSE(cache_load("entry.bin", "tag",
+                          [](BinaryReader&) { FAIL(); }));  // the one miss
+  cache_store("entry.bin", "tag", [](BinaryWriter& w) { w.write_i64(42); });
+  // Simulate the store never sticking: the slot is empty on every probe.
+  std::filesystem::remove(dir_ / "entry.bin");
+  const auto memo_before = metrics::counter("cache/file/memo_hits").value();
+  for (int i = 0; i < 4; ++i) {
+    std::int64_t got = 0;
+    EXPECT_TRUE(cache_load("entry.bin", "tag",
+                           [&](BinaryReader& r) { got = r.read_i64(); }))
+        << "lookup " << i;
+    EXPECT_EQ(got, 42) << "lookup " << i;
+  }
+  EXPECT_EQ(metrics::counter("cache/file/memo_hits").value(),
+            memo_before + 4);
+}
+
+TEST_F(FileCacheTest, MemoNeverServesAcrossTagChange) {
+  cache_store("entry.bin", "tagA", [](BinaryWriter& w) { w.write_i64(7); });
+  corrupt_entry("entry.bin");
+  EXPECT_FALSE(cache_load("entry.bin", "tagA", [](BinaryReader&) { FAIL(); }));
+  cache_store("entry.bin", "tagA", [](BinaryWriter& w) { w.write_i64(42); });
+  std::filesystem::remove(dir_ / "entry.bin");
+  // A tag change means the memoized payload is stale by definition.
+  EXPECT_FALSE(cache_load("entry.bin", "tagB", [](BinaryReader&) { FAIL(); }));
+}
+
+TEST_F(FileCacheTest, MemoStandsDownAfterDiskVerifiesAgain) {
+  cache_store("entry.bin", "tag", [](BinaryWriter& w) { w.write_i64(5); });
+  corrupt_entry("entry.bin");
+  EXPECT_FALSE(cache_load("entry.bin", "tag", [](BinaryReader&) { FAIL(); }));
+  cache_store("entry.bin", "tag", [](BinaryWriter& w) { w.write_i64(6); });
+  // Drain the backoff window (memo-served), then let a real probe hit the
+  // healthy on-disk entry — which must clear the memo.
+  for (int i = 0; i < 3; ++i) {
+    std::int64_t got = 0;
+    EXPECT_TRUE(cache_load("entry.bin", "tag",
+                           [&](BinaryReader& r) { got = r.read_i64(); }));
+    EXPECT_EQ(got, 6);
+  }
+  // With the memo cleared, fresh corruption is a miss again (nothing
+  // stale gets served), which is exactly the stand-down we want.
+  corrupt_entry("entry.bin");
+  EXPECT_FALSE(cache_load("entry.bin", "tag", [](BinaryReader&) { FAIL(); }));
 }
 
 TEST_F(FileCacheTest, LoadCallbackFailureDoesNotEscape) {

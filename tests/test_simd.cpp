@@ -748,6 +748,51 @@ TEST(IntPath, IntRoutesDeterministicAcrossIsasAndThreads) {
   }
 }
 
+/// Regression: a FaultModel wrapper — even with every rate at zero — must
+/// keep the wrapped model off the fully-digital int route. The digital
+/// route computes exact integer dot products and would silently erase the
+/// fault rewrite (stuck cells, dead lines, drift) the wrapper applies to
+/// the programmed conductances; FaultModel(ideal) is only "ideal" in name.
+/// Pinned as bit-identity across the int-path gate and every ISA tier,
+/// plus the route counter staying flat.
+TEST(IntPath, FaultWrappedIdealNeverTakesDigitalRoute) {
+  Rng rng(74);
+  const auto cfg = tiny_config(16);
+  Tensor w = Tensor::normal({20, 18}, 0.0f, 0.4f, rng);
+  Tensor x({18, 5});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  xbar::FaultOptions fo;  // all rates zero: the rewrite is the identity
+  auto model = std::make_shared<xbar::FaultModel>(
+      std::make_shared<xbar::IdealXbarModel>(cfg), fo);
+  puma::TiledMatrix tiled(w, model, puma::HwConfig{});
+  metrics::Counter& digital_mms =
+      metrics::counter("puma/tiled/matmuls_int_digital");
+
+  Tensor ref;
+  {
+    puma::ScopedIntPathForTests off(false);
+    simd::ScopedIsaForTests scope(simd::Isa::Scalar);
+    ref = tiled.matmul(x, 0.0f);
+  }
+  ASSERT_GT(ref.abs_max(), 0.0f);
+  for (const bool int_path : {false, true}) {
+    puma::ScopedIntPathForTests gate(int_path);
+    for (simd::Isa isa : test_isas()) {
+      simd::ScopedIsaForTests scope(isa);
+      const std::uint64_t before = digital_mms.value();
+      Tensor out = tiled.matmul(x, 0.0f);
+      EXPECT_EQ(digital_mms.value(), before)
+          << "digital route engaged for fault-wrapped model (int_path="
+          << int_path << " isa=" << simd::isa_name(isa) << ")";
+      for (std::int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_EQ(out[i], ref[i]) << "int_path=" << int_path
+                                  << " isa=" << simd::isa_name(isa)
+                                  << " i=" << i;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Solver stream warm-starting
 // ---------------------------------------------------------------------------

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/health.h"
+#include "common/metrics.h"
 #include "xbar/circuit_solver.h"
 #include "xbar/geniex.h"
 
@@ -186,6 +187,7 @@ TEST(Solver, ExhaustedSweepBudgetIsReportedNotSwallowed) {
   SolverOptions opt;
   opt.max_sweeps = 1;
   opt.tol = 1e-15;  // unreachable in one sweep
+  opt.retry_on_nonconvergence = false;  // exercise the raw failure path
   const auto before = health_value(HealthCounter::SolverNonConverged);
   SolveStats stats;
   Tensor out = solve_crossbar(cfg, opt, g, v, &stats);
@@ -193,10 +195,97 @@ TEST(Solver, ExhaustedSweepBudgetIsReportedNotSwallowed) {
   EXPECT_FALSE(stats.ok());
   EXPECT_TRUE(stats.finite);
   EXPECT_EQ(stats.sweeps_used, 1);
+  EXPECT_EQ(stats.retries, 0);
   EXPECT_GT(stats.last_delta, 0.0);
   EXPECT_GT(health_value(HealthCounter::SolverNonConverged), before);
   for (std::int64_t j = 0; j < cfg.cols; ++j)
     EXPECT_TRUE(std::isfinite(out[j])) << "col " << j;
+}
+
+TEST(Solver, FailedSolveRetriesOnceDampedBeforeGivingUp) {
+  // A non-converged solve retries once, cold, with halved relaxation and
+  // doubled sweep budget. With an unreachable tolerance the retry fails
+  // too: the stats describe the retry attempt (2x budget spent), exactly
+  // one retry is recorded, and the health counter sees ONE failure — not
+  // one per attempt.
+  CrossbarConfig cfg = tiny_config(6);
+  Rng rng(12);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  SolverOptions opt;
+  opt.max_sweeps = 1;
+  opt.tol = 1e-15;
+  const auto health_before = health_value(HealthCounter::SolverNonConverged);
+  const auto retries_before = metrics::counter("solver/retries").value();
+  SolveStats stats;
+  Tensor out = solve_crossbar(cfg, opt, g, v, &stats);
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_FALSE(stats.converged);
+  EXPECT_EQ(stats.sweeps_used, 2);  // the retry's doubled budget
+  EXPECT_EQ(metrics::counter("solver/retries").value(), retries_before + 1);
+  EXPECT_EQ(health_value(HealthCounter::SolverNonConverged),
+            health_before + 1);
+  for (std::int64_t j = 0; j < cfg.cols; ++j)
+    EXPECT_TRUE(std::isfinite(out[j])) << "col " << j;
+}
+
+TEST(Solver, RetryOutputMatchesExplicitDampedColdSolve) {
+  // The retry is by definition a cold re-solve at half relaxation and
+  // double budget: its output and stats must match an explicitly
+  // configured damped solve bit for bit.
+  CrossbarConfig cfg = tiny_config(6);
+  Rng rng(13);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  SolverOptions opt;
+  opt.max_sweeps = 1;
+  opt.tol = 1e-15;
+  SolveStats stats;
+  Tensor out = solve_crossbar(cfg, opt, g, v, &stats);
+  SolverOptions damped = opt;
+  damped.max_sweeps = 2;
+  damped.relaxation = 0.5;
+  damped.retry_on_nonconvergence = false;
+  SolveStats ds;
+  Tensor ref = solve_crossbar(cfg, damped, g, v, &ds);
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_EQ(ds.retries, 0);
+  EXPECT_EQ(stats.sweeps_used, ds.sweeps_used);
+  EXPECT_EQ(stats.last_delta, ds.last_delta);
+  EXPECT_EQ(max_abs_diff(out, ref), 0.0f);
+}
+
+TEST(Solver, UnderRelaxationConvergesToSameFixedPoint) {
+  // Damping slows the outer iteration but must land on the same solution,
+  // on both sweep schedules.
+  CrossbarConfig cfg = tiny_config(8);
+  Rng rng(15);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  Tensor ref = solve_crossbar(cfg, {}, g, v);
+  for (const SweepOrdering ordering :
+       {SweepOrdering::kRedBlack, SweepOrdering::kLexicographic}) {
+    SolverOptions damped;
+    damped.ordering = ordering;
+    damped.relaxation = 0.6;
+    SolveStats stats;
+    Tensor out = solve_crossbar(cfg, damped, g, v, &stats);
+    EXPECT_TRUE(stats.ok());
+    for (std::int64_t j = 0; j < cfg.cols; ++j)
+      EXPECT_NEAR(out[j], ref[j], 1e-5f * cfg.i_scale()) << "col " << j;
+  }
+}
+
+TEST(Solver, RelaxationValidatesRange) {
+  CrossbarConfig cfg = tiny_config(2);
+  Rng rng(16);
+  Tensor g = sample_conductances(cfg, rng);
+  Tensor v = sample_voltages(cfg, rng);
+  for (const double bad : {0.0, -0.5, 1.5}) {
+    SolverOptions opt;
+    opt.relaxation = bad;
+    EXPECT_THROW(solve_crossbar(cfg, opt, g, v), CheckError) << bad;
+  }
 }
 
 TEST(Solver, NormalSolveReportsCleanStats) {
