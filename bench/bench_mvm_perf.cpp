@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/report.h"
 #include "puma/tiled_mvm.h"
@@ -266,7 +267,14 @@ void BM_SolverTiledMatmulWarmStart(benchmark::State& state) {
   metrics::Counter& sweeps = metrics::counter("solver/sweeps");
   metrics::Counter& solves = metrics::counter("solver/solves");
   const std::uint64_t s0 = sweeps.value(), n0 = solves.value();
-  for (auto _ : state) benchmark::DoNotOptimize(tiled.matmul(x, 1.0f));
+  // Streaming telemetry across the A/B: the sweep-counter trajectory per
+  // benchmark iteration shows warm-starting flattening the slope.
+  telemetry::track("solver/sweeps");
+  std::uint64_t it = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tiled.matmul(x, 1.0f));
+    telemetry::sample_all(it++);
+  }
   const double iters = static_cast<double>(state.iterations());
   const double sweeps_per = static_cast<double>(sweeps.value() - s0) / iters;
   state.counters["sweeps_per_matmul"] = sweeps_per;

@@ -42,6 +42,7 @@
 #include "attack/pgd.h"
 #include "attack/square.h"
 #include "common/env.h"
+#include "common/trace.h"
 #include "core/evaluator.h"
 #include "core/fault_sweep.h"
 #include "core/report.h"
@@ -605,7 +606,8 @@ void usage() {
       "NVM_FLEET_SAMPLE / NVM_FLEET_DT_S / NVM_FLEET_AGE_SPREAD_S /\n"
       "NVM_FLEET_SEED / NVM_FLEET_POLICY\n"
       "every command also accepts --metrics-out PATH (or NVM_METRICS_OUT)\n"
-      "to write a JSON run manifest\n");
+      "to write a JSON run manifest, and --trace-events PATH (or\n"
+      "NVM_TRACE_EVENTS) to write a chrome://tracing / Perfetto timeline\n");
 }
 
 }  // namespace
@@ -617,6 +619,11 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const auto flags = parse_flags(argc, argv, 2);
+  // --trace-events PATH: same effect as NVM_TRACE_EVENTS — record every
+  // NVM_TRACE_SPAN as Chrome-trace B/E events and flush the timeline JSON
+  // at exit (chrome://tracing / Perfetto).
+  if (const auto it = flags.find("trace-events"); it != flags.end())
+    nvm::trace::enable_events(it->second);
   if (cmd == "quickstart") return cmd_quickstart(flags);
   if (cmd == "nf") return cmd_nf(flags);
   if (cmd == "tasks") return cmd_tasks();

@@ -139,6 +139,41 @@ else
   echo "== tier-1: fleet smoke skipped (needs python3 for manifest checks) =="
 fi
 
+# Perf-regression gate (scripts/perf_gate.py): the committed BENCH_*.json
+# baselines must gate cleanly against themselves, the gate must actually
+# catch an injected regression (negative test), and a fresh quickstart-
+# scale candidate run must pass its structural + accuracy specs.
+if command -v python3 >/dev/null 2>&1; then
+  echo "== tier-1: perf gate (self-compare + negative test + fresh quickstart) =="
+  python3 scripts/perf_gate.py --baseline . --candidate . --strict
+
+  GATE_TMP="$(mktemp -d /tmp/nvmrobust_perf_gate.XXXXXX)"
+  trap 'rm -rf "$GATE_TMP"' EXIT
+  cp BENCH_*.json "$GATE_TMP/"
+  python3 - "$GATE_TMP" <<'EOF'
+import json, sys
+path = sys.argv[1] + "/BENCH_mvm_perf.json"
+d = json.load(open(path))
+d["metrics"]["bench/simd/gflops"] *= 0.4  # far outside every band
+json.dump(d, open(path, "w"))
+EOF
+  if python3 scripts/perf_gate.py --baseline . --candidate "$GATE_TMP" \
+      >/dev/null 2>&1; then
+    echo "FAIL: perf gate accepted an injected 60% gflops regression" >&2
+    exit 1
+  fi
+  echo "perf gate negative test ok: injected regression rejected"
+
+  # Fresh candidate at quickstart scale, gated non-strict so only the
+  # quickstart specs apply (the heavyweight benches are not re-run here).
+  rm -f "$GATE_TMP"/BENCH_*.json
+  ./build/examples/nvmrobust_cli quickstart \
+    --metrics-out "$GATE_TMP/BENCH_quickstart.json" >/dev/null
+  python3 scripts/perf_gate.py --baseline . --candidate "$GATE_TMP"
+else
+  echo "== tier-1: perf gate skipped (needs python3) =="
+fi
+
 if [[ "${1:-}" == "--skip-sanitize" ]]; then
   echo "== sanitizer pass skipped =="
   exit 0
@@ -155,6 +190,18 @@ serve_smoke ./build-asan/examples/nvmrobust_cli /tmp/nvmrobust_check_serve_asan.
 if command -v python3 >/dev/null 2>&1; then
   echo "== sanitizer: fleet lifetime smoke under ASan+UBSan =="
   fleet_smoke_always ./build-asan/examples/nvmrobust_cli /tmp/nvmrobust_check_fleet_asan.json
+fi
+
+# Trace-event export under ASan: exercises the per-thread ring buffers and
+# the atexit flush (the lifetime-bug hotspot), then validates the emitted
+# chrome://tracing JSON structurally.
+if command -v python3 >/dev/null 2>&1; then
+  echo "== sanitizer: trace-event export under ASan+UBSan =="
+  TRACE_OUT=/tmp/nvmrobust_check_trace_asan.json
+  rm -f "$TRACE_OUT"
+  NVM_TRACE_EVENTS="$TRACE_OUT" \
+    ./build-asan/examples/nvmrobust_cli quickstart >/dev/null
+  python3 scripts/perf_gate.py --validate-trace "$TRACE_OUT"
 fi
 
 echo "== all checks passed =="

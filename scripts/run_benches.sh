@@ -49,3 +49,20 @@ run fleet "$BUILD/bench/bench_fleet_lifetime"
 
 echo "== bench manifests =="
 ls -l BENCH_*.json
+
+# Gate the fresh numbers against the committed baselines before they are
+# (re)committed: catches a regression at refresh time rather than in the
+# next CI run. NVM_PERF_GATE_TOL widens the bands on noisy machines.
+if command -v python3 >/dev/null 2>&1; then
+  echo "== perf gate vs committed baselines =="
+  GATE_DIR="$(mktemp -d /tmp/nvmrobust_benches.XXXXXX)"
+  trap 'rm -rf "$GATE_DIR"' EXIT
+  cp BENCH_*.json "$GATE_DIR/"
+  git checkout -- BENCH_*.json 2>/dev/null || true
+  python3 scripts/perf_gate.py --baseline . --candidate "$GATE_DIR" || {
+    echo "perf gate FAILED — fresh manifests kept in $GATE_DIR" >&2
+    trap - EXIT
+    exit 1
+  }
+  cp "$GATE_DIR"/BENCH_*.json .
+fi

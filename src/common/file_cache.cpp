@@ -225,6 +225,54 @@ LoadOutcome load_entry(const std::string& name, const std::string& tag,
 }
 
 /// Writes all `n` bytes to `fd`, riding out short writes and EINTR.
+bool write_all(int fd, const char* data, std::size_t n);
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path,
+                       std::span<const std::string_view> parts) {
+  // Publish via write-tmp / fsync / rename: the fsync barrier keeps a
+  // crash around the rename from replacing a good file with a torn one,
+  // and every failure path removes the .tmp so aborted writes never leave
+  // orphans behind (a leftover .tmp from a crashed process is reclaimed
+  // by O_TRUNC on the next write of the same path).
+  const std::string tmp = path + ".tmp";
+  bool ok = false;
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd >= 0) {
+    ok = true;
+    for (const std::string_view part : parts)
+      ok = ok && write_all(fd, part.data(), part.size());
+    ok = ok && ::fsync(fd) == 0;
+    ok = (::close(fd) == 0) && ok;
+  }
+  std::error_code ec;
+  if (ok) {
+    std::filesystem::rename(tmp, path, ec);
+    if (!ec) {
+      // Best-effort directory sync so the rename itself is durable too.
+      const std::filesystem::path parent =
+          std::filesystem::path(path).parent_path();
+      const std::string dir = parent.empty() ? "." : parent.string();
+      const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+      if (dfd >= 0) {
+        (void)::fsync(dfd);
+        ::close(dfd);
+      }
+      return true;
+    }
+    NVM_LOG(Warn) << "atomic rename failed for " << tmp << ": "
+                  << ec.message();
+  } else {
+    NVM_LOG(Warn) << "atomic write failed for " << tmp;
+  }
+  std::filesystem::remove(tmp, ec);
+  return false;
+}
+
+namespace {
+
 bool write_all(int fd, const char* data, std::size_t n) {
   while (n > 0) {
     const ::ssize_t w = ::write(fd, data, n);
@@ -279,40 +327,12 @@ void cache_store(const std::string& name, const std::string& tag,
   }
   const std::string header = hbuf.str();
 
-  // Publish via write-tmp / fsync / rename: the fsync barrier keeps a
-  // crash around the rename from replacing a good entry with a torn one,
-  // and every failure path removes the .tmp so aborted stores never leave
-  // orphans behind (a leftover .tmp from a crashed process is reclaimed by
-  // O_TRUNC on the next store of the same entry). I/O failures here only
-  // warn: the cache is an accelerator, losing a store is recoverable.
-  const std::string dir = cache_dir();
-  const std::string path = dir + "/" + name;
-  const std::string tmp = path + ".tmp";
-  bool ok = false;
-  const int fd =
-      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd >= 0) {
-    ok = write_all(fd, header.data(), header.size()) &&
-         write_all(fd, payload.data(), payload.size()) && ::fsync(fd) == 0;
-    ok = (::close(fd) == 0) && ok;
-  }
-  std::error_code ec;
-  if (ok) {
-    std::filesystem::rename(tmp, path, ec);
-    if (!ec) {
-      // Best-effort directory sync so the rename itself is durable too.
-      const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-      if (dfd >= 0) {
-        (void)::fsync(dfd);
-        ::close(dfd);
-      }
-      return;
-    }
-    NVM_LOG(Warn) << "cache rename failed for " << tmp << ": " << ec.message();
-  } else {
-    NVM_LOG(Warn) << "cache write failed for " << tmp;
-  }
-  std::filesystem::remove(tmp, ec);
+  // Crash-safe publish through the shared tmp/fsync/rename primitive. I/O
+  // failures only warn (inside atomic_write_file): the cache is an
+  // accelerator, losing a store is recoverable.
+  const std::string path = cache_dir() + "/" + name;
+  const std::string_view parts[] = {header, payload};
+  (void)atomic_write_file(path, parts);
 }
 
 }  // namespace nvm

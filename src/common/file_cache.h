@@ -22,7 +22,9 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "common/serialize.h"
 
@@ -30,6 +32,19 @@ namespace nvm {
 
 /// Resolves the cache directory, creating it if needed.
 std::string cache_dir();
+
+/// Crash-safe file publish: writes `parts` (concatenated) to `path` via
+/// the write-tmp -> fsync -> rename pattern, so a reader never observes a
+/// truncated file and a crash mid-write never clobbers a good one. Every
+/// failure path removes the .tmp and logs one warning. Returns true once
+/// the rename has landed. Shared by the artifact cache, run manifests,
+/// and the trace-event exporter.
+bool atomic_write_file(const std::string& path,
+                       std::span<const std::string_view> parts);
+inline bool atomic_write_file(const std::string& path, std::string_view data) {
+  const std::string_view parts[] = {data};
+  return atomic_write_file(path, parts);
+}
 
 /// Loads cache entry `name` if present and its stored tag equals `tag`.
 /// `load` reads the payload; returns false if the entry is missing/stale.

@@ -1,6 +1,7 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -115,8 +116,11 @@ Histogram& histogram(const std::string& name, std::vector<double> bounds) {
 }
 
 double quantile(const MetricValue& m, double q) {
+  // An empty histogram (or a non-histogram) has no quantiles: NaN, not a
+  // fabricated 0, so consumers can tell "no observations" from "all
+  // observations were instant" (JSON export turns NaN into null).
   if (m.kind != Kind::Histogram || m.count == 0 || m.bounds.empty())
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(m.count);
   double cum = 0.0;

@@ -112,9 +112,10 @@ struct MetricValue {
 /// Estimated q-quantile (q in [0, 1]) of a histogram MetricValue: linear
 /// interpolation inside the bucket that holds the target rank, with bucket
 /// i spanning (bounds[i-1], bounds[i]] and the first bucket anchored at 0.
-/// Observations landing in the overflow bucket resolve to the highest
-/// bound (Prometheus histogram_quantile semantics). Returns 0 for empty
-/// histograms and non-histogram values.
+/// Observations landing in the overflow bucket clamp to the last finite
+/// bucket bound (Prometheus histogram_quantile semantics) — the histogram
+/// cannot see past its last edge, so it never extrapolates. Returns NaN
+/// for empty histograms and non-histogram values (exported as JSON null).
 double quantile(const MetricValue& m, double q);
 
 /// Point-in-time copy of every registered metric, sorted by name.

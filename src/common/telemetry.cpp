@@ -1,0 +1,168 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "common/env.h"
+#include "common/metrics.h"
+
+namespace nvm::telemetry {
+
+namespace {
+
+/// Fixed-capacity (tick, value) ring, drop-oldest. Storage is allocated
+/// lazily on the first sample so merely tracking a metric costs nothing.
+struct Ring {
+  std::vector<std::uint64_t> ticks;
+  std::vector<double> values;
+  std::size_t start = 0;  ///< index of the oldest sample
+  std::size_t size = 0;
+  std::uint64_t dropped = 0;
+
+  void push(std::uint64_t tick, double value, std::size_t cap) {
+    if (ticks.size() != cap) {
+      // Capacity changed (tests) or first sample: restart the ring.
+      ticks.assign(cap, 0);
+      values.assign(cap, 0.0);
+      start = size = 0;
+    }
+    const std::size_t pos = (start + size) % cap;
+    ticks[pos] = tick;
+    values[pos] = value;
+    if (size < cap) {
+      ++size;
+    } else {
+      start = (start + 1) % cap;
+      ++dropped;
+    }
+  }
+};
+
+struct Sampler {
+  std::mutex mu;
+  std::map<std::string, Ring> series;
+};
+
+// Leaked on purpose (see metrics.cpp): pulses may arrive from pool
+// workers draining after main() returns.
+Sampler& sampler() {
+  static Sampler* s = new Sampler;
+  return *s;
+}
+
+/// Cheap empty-check so sample_all costs one relaxed load when nothing is
+/// tracked (the common case for unit tests and non-telemetry runs).
+std::atomic<std::size_t> g_tracked{0};
+
+std::atomic<std::size_t> g_cap_override{0};
+bool g_cap_override_set = false;
+
+std::size_t env_capacity() {
+  static const std::size_t cap = [] {
+    const std::int64_t v = env_int("NVM_TELEMETRY_CAP", 512);
+    return static_cast<std::size_t>(std::max<std::int64_t>(0, v));
+  }();
+  return cap;
+}
+
+/// NVM_TELEMETRY="a,b,c" tracks extra metrics without code changes;
+/// parsed once, on the first track()/sample_all().
+void track_env_list_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const std::string list = env_str("NVM_TELEMETRY", "");
+    std::istringstream is(list);
+    std::string name;
+    while (std::getline(is, name, ',')) {
+      // Trim surrounding whitespace; skip empty segments.
+      const auto b = name.find_first_not_of(" \t");
+      if (b == std::string::npos) continue;
+      const auto e = name.find_last_not_of(" \t");
+      const std::string trimmed = name.substr(b, e - b + 1);
+      Sampler& s = sampler();
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.series.try_emplace(trimmed).second)
+        g_tracked.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+}
+
+}  // namespace
+
+std::size_t capacity() {
+  if (g_cap_override_set)
+    return g_cap_override.load(std::memory_order_relaxed);
+  return env_capacity();
+}
+
+void set_capacity_for_tests(std::size_t cap) {
+  g_cap_override_set = cap != 0;
+  g_cap_override.store(cap, std::memory_order_relaxed);
+}
+
+void track(const std::string& metric_name) {
+  if (capacity() == 0) return;
+  track_env_list_once();
+  Sampler& s = sampler();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.series.try_emplace(metric_name).second)
+    g_tracked.fetch_add(1, std::memory_order_relaxed);
+}
+
+void sample_all(std::uint64_t tick) {
+  if (g_tracked.load(std::memory_order_relaxed) == 0) return;
+  const std::size_t cap = capacity();
+  if (cap == 0) return;
+  track_env_list_once();
+
+  // One registry snapshot per pulse; name-sorted, so each tracked series
+  // resolves with a binary search.
+  const std::vector<metrics::MetricValue> all = metrics::snapshot();
+  Sampler& s = sampler();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& [name, ring] : s.series) {
+    const auto it = std::lower_bound(
+        all.begin(), all.end(), name,
+        [](const metrics::MetricValue& m, const std::string& n) {
+          return m.name < n;
+        });
+    if (it == all.end() || it->name != name) continue;  // not registered yet
+    const double v = it->kind == metrics::Kind::Histogram
+                         ? static_cast<double>(it->count)
+                         : it->value;
+    ring.push(tick, v, cap);
+  }
+}
+
+std::vector<Series> snapshot() {
+  Sampler& s = sampler();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<Series> out;
+  out.reserve(s.series.size());
+  for (const auto& [name, ring] : s.series) {
+    Series series;
+    series.metric = name;
+    series.dropped = ring.dropped;
+    series.ticks.reserve(ring.size);
+    series.values.reserve(ring.size);
+    for (std::size_t i = 0; i < ring.size; ++i) {
+      const std::size_t pos = (ring.start + i) % ring.ticks.size();
+      series.ticks.push_back(ring.ticks[pos]);
+      series.values.push_back(ring.values[pos]);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void reset_for_tests() {
+  Sampler& s = sampler();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.series.clear();
+  g_tracked.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace nvm::telemetry

@@ -1,0 +1,66 @@
+// Streaming telemetry: time-series sampling of the metrics registry.
+//
+// The run manifest (core/report.h) captures *end-of-run* deltas; this
+// layer captures the trajectory in between. A call site registers the
+// metrics it wants sampled (telemetry::track), and a driving loop pulses
+// telemetry::sample_all(tick) at its natural cadence — the fleet
+// simulator per epoch, the serve scheduler per micro-batch, bench
+// harnesses per iteration block. Each pulse appends (tick, value) to a
+// fixed-capacity ring buffer per tracked metric (drop-oldest, with a
+// dropped count), and RunManifest::write() merges the rings into the
+// manifest under "telemetry".
+//
+// Determinism: there is no wall clock anywhere in this layer — the tick
+// is whatever the driving loop passes (epoch number, batch count,
+// iteration index), so sampled series from a deterministic run are
+// themselves deterministic. Ticks are source-local labels: they are
+// stored verbatim and need not be globally monotone when several loops
+// pulse the same process.
+//
+// Cost: sample_all takes one metrics::snapshot() (a mutex + O(metrics)
+// copy) per pulse and nothing per metric mutation, so the hot paths that
+// *feed* the metrics are untouched; pulses are meant to be per-epoch /
+// per-batch, not per-sample. With no tracked series a pulse is one
+// relaxed atomic load. NVM_TELEMETRY_CAP sets the per-series ring
+// capacity (default 512; 0 disables sampling entirely), and the
+// NVM_TELEMETRY env var ("name1,name2,...") tracks extra metrics without
+// touching code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvm::telemetry {
+
+/// One sampled series: parallel (ticks, values) in capture order, oldest
+/// first, plus how many older samples the ring dropped to stay bounded.
+struct Series {
+  std::string metric;   ///< registry name ("fleet/chips_alive", ...)
+  std::vector<std::uint64_t> ticks;
+  std::vector<double> values;  ///< counter total / gauge value / histogram count
+  std::uint64_t dropped = 0;
+};
+
+/// Per-series ring capacity (NVM_TELEMETRY_CAP, default 512). 0 disables
+/// sampling: track() and sample_all() become no-ops.
+std::size_t capacity();
+
+/// Registers `metric_name` for sampling (idempotent). The metric does not
+/// need to exist yet: pulses before its registration record nothing.
+void track(const std::string& metric_name);
+
+/// Appends one sample to every tracked series, labelled `tick`. Thread-
+/// safe; concurrent pulses serialize on the sampler mutex.
+void sample_all(std::uint64_t tick);
+
+/// Copies every tracked series (oldest sample first), sorted by metric
+/// name. Series that never matched a registered metric export empty.
+std::vector<Series> snapshot();
+
+/// Tests only: overrides capacity (0 restores the env/default value).
+void set_capacity_for_tests(std::size_t cap);
+/// Tests only: drops every tracked series and its samples.
+void reset_for_tests();
+
+}  // namespace nvm::telemetry

@@ -2,12 +2,19 @@
 
 #include <atomic>
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <unordered_map>
 #include <vector>
+
+#include "common/file_cache.h"
+#include "common/logging.h"
+#include "common/metrics.h"
 
 namespace nvm::trace {
 
@@ -26,12 +33,20 @@ struct SpanSlot {
   std::atomic<std::uint64_t> max{0};
 };
 
-/// One thread's span table. The mutex guards the map structure (rare
-/// insertions by the owner vs. iteration by snapshot); slot updates
-/// themselves are lock-free.
+/// One thread's span table. The mutex guards the map structure and the
+/// event ring (rare owner insertions / appends vs. iteration by
+/// snapshot); slot stat updates themselves are lock-free.
 struct ThreadTable {
   std::mutex mu;
+  std::uint64_t tid = 0;
   std::unordered_map<const void*, std::unique_ptr<SpanSlot>> slots;
+
+  // Bounded begin/end event ring (drop-oldest). Storage is allocated on
+  // the first event, so threads in non-capturing runs pay nothing.
+  std::vector<Event> ring;
+  std::size_t ring_start = 0;  ///< index of the oldest event
+  std::size_t ring_size = 0;
+  std::uint64_t dropped = 0;
 };
 
 struct TraceRegistry {
@@ -51,10 +66,78 @@ ThreadTable& tls_table() {
     auto t = std::make_shared<ThreadTable>();
     TraceRegistry& reg = registry();
     std::lock_guard<std::mutex> lock(reg.mu);
+    t->tid = static_cast<std::uint64_t>(reg.tables.size()) + 1;
     reg.tables.push_back(t);
     return t;
   }();
   return *table;
+}
+
+// --- event capture state -----------------------------------------------
+
+std::atomic<bool> g_events_on{false};
+std::atomic<std::size_t> g_ring_cap{65536};
+
+std::int64_t steady_ns(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+/// Capture epoch as a raw steady-clock nanosecond count, so the per-event
+/// path reads it with one relaxed load instead of a mutex.
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+struct EventConfig {
+  std::mutex mu;
+  std::string path;
+  bool atexit_registered = false;
+};
+
+EventConfig& event_config() {
+  static EventConfig* c = new EventConfig;
+  return *c;
+}
+
+metrics::Counter& dropped_counter() {
+  static metrics::Counter& c = metrics::counter("trace/events_dropped");
+  return c;
+}
+
+void flush_at_exit() { flush_events(); }
+
+/// NVM_TRACE_EVENTS=<path> turns capture on for the whole process; read
+/// once, on the first span/event-API touch.
+void init_events_from_env_once() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* p = std::getenv("NVM_TRACE_EVENTS");
+    if (p != nullptr && *p != '\0') enable_events(p);
+  });
+}
+
+struct EventsEnvInit {
+  EventsEnvInit() { init_events_from_env_once(); }
+} g_events_env_init;
+
+/// Minimal JSON string escaping for span-name literals (which follow the
+/// metric naming scheme, but stay safe for arbitrary input).
+std::string escape_json(const char* s) {
+  std::string out;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const char c = *p;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -75,6 +158,35 @@ void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 namespace detail {
+
+bool events_on() { return g_events_on.load(std::memory_order_relaxed); }
+
+void event(const char* name, char ph,
+           std::chrono::steady_clock::time_point t) {
+  const std::int64_t rel =
+      steady_ns(t) - g_epoch_ns.load(std::memory_order_relaxed);
+  Event e;
+  e.name = name;
+  e.ph = ph;
+  e.ts_ns = rel <= 0 ? 0 : static_cast<std::uint64_t>(rel);
+  ThreadTable& table = tls_table();
+  const std::size_t cap = g_ring_cap.load(std::memory_order_relaxed);
+  if (cap == 0) return;
+  std::lock_guard<std::mutex> lock(table.mu);
+  if (table.ring.size() != cap) {
+    table.ring.assign(cap, Event{});
+    table.ring_start = table.ring_size = 0;
+  }
+  const std::size_t pos = (table.ring_start + table.ring_size) % cap;
+  table.ring[pos] = e;
+  if (table.ring_size < cap) {
+    ++table.ring_size;
+  } else {
+    table.ring_start = (table.ring_start + 1) % cap;
+    ++table.dropped;
+    dropped_counter().add();
+  }
+}
 
 void record(const char* name, std::uint64_t ns) {
   ThreadTable& table = tls_table();
@@ -141,6 +253,141 @@ void reset_for_tests() {
                       std::memory_order_relaxed);
       slot->max.store(0, std::memory_order_relaxed);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timeline events
+
+void enable_events(const std::string& path, std::size_t ring_capacity) {
+  EventConfig& cfg = event_config();
+  {
+    std::lock_guard<std::mutex> lock(cfg.mu);
+    cfg.path = path;
+    if (!path.empty() && !cfg.atexit_registered) {
+      std::atexit(flush_at_exit);
+      cfg.atexit_registered = true;
+    }
+  }
+  g_ring_cap.store(std::max<std::size_t>(1, ring_capacity),
+                   std::memory_order_relaxed);
+  g_epoch_ns.store(steady_ns(std::chrono::steady_clock::now()),
+                   std::memory_order_relaxed);
+  g_events_on.store(true, std::memory_order_relaxed);
+}
+
+void disable_events() {
+  g_events_on.store(false, std::memory_order_relaxed);
+}
+
+bool events_enabled() { return detail::events_on(); }
+
+std::vector<ThreadEvents> events_snapshot() {
+  TraceRegistry& reg = registry();
+  std::vector<std::shared_ptr<ThreadTable>> tables;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    tables = reg.tables;
+  }
+  std::vector<ThreadEvents> out;
+  for (const auto& table : tables) {
+    ThreadEvents te;
+    std::vector<Event> ordered;
+    {
+      std::lock_guard<std::mutex> lock(table->mu);
+      te.tid = table->tid;
+      te.dropped = table->dropped;
+      ordered.reserve(table->ring_size);
+      for (std::size_t i = 0; i < table->ring_size; ++i)
+        ordered.push_back(
+            table->ring[(table->ring_start + i) % table->ring.size()]);
+    }
+    if (ordered.empty() && te.dropped == 0) continue;
+
+    // Balance the stream: an 'E' whose 'B' was overwritten by the ring is
+    // dropped (and counted); a trailing 'B' whose span is still open is
+    // elided (its closed children stay, re-parented to the grandparent —
+    // still well-nested). The kept subsequence preserves capture order,
+    // so per-thread timestamps stay monotone.
+    std::vector<char> keep(ordered.size(), 1);
+    std::vector<std::size_t> open;
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      if (ordered[i].ph == 'B') {
+        open.push_back(i);
+      } else if (open.empty()) {
+        keep[i] = 0;
+        ++te.dropped;
+      } else {
+        open.pop_back();
+      }
+    }
+    for (const std::size_t i : open) keep[i] = 0;
+    te.events.reserve(ordered.size());
+    for (std::size_t i = 0; i < ordered.size(); ++i)
+      if (keep[i]) te.events.push_back(ordered[i]);
+    if (!te.events.empty() || te.dropped > 0) out.push_back(std::move(te));
+  }
+  return out;
+}
+
+bool flush_events(const std::string& path) {
+  const std::vector<ThreadEvents> threads = events_snapshot();
+  std::uint64_t dropped_total = 0;
+
+  // chrome://tracing JSON Array Format: one B/E pair per span, ts in
+  // microseconds (fractional, ns precision). Hand-rolled here because the
+  // JsonWriter lives a layer above (core depends on common, not vice
+  // versa).
+  std::ostringstream os;
+  os << "{\n  \"traceEvents\": [";
+  bool first = true;
+  for (const ThreadEvents& te : threads) {
+    dropped_total += te.dropped;
+    for (const Event& e : te.events) {
+      os << (first ? "\n" : ",\n");
+      first = false;
+      char ts[40];
+      std::snprintf(ts, sizeof ts, "%.3f",
+                    static_cast<double>(e.ts_ns) / 1e3);
+      os << "    {\"name\": \"" << escape_json(e.name)
+         << "\", \"cat\": \"nvm\", \"ph\": \"" << e.ph
+         << "\", \"pid\": 1, \"tid\": " << te.tid << ", \"ts\": " << ts
+         << "}";
+    }
+  }
+  os << "\n  ],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": "
+        "{\"dropped_events\": "
+     << dropped_total << "}\n}\n";
+
+  const bool ok = atomic_write_file(path, os.str());
+  if (ok)
+    NVM_LOG(Info) << "trace events written to " << path;
+  return ok;
+}
+
+void flush_events() {
+  EventConfig& cfg = event_config();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(cfg.mu);
+    path = cfg.path;
+  }
+  if (!path.empty()) (void)flush_events(path);
+}
+
+void reset_events_for_tests() {
+  disable_events();
+  TraceRegistry& reg = registry();
+  std::vector<std::shared_ptr<ThreadTable>> tables;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    tables = reg.tables;
+  }
+  for (const auto& table : tables) {
+    std::lock_guard<std::mutex> lock(table->mu);
+    table->ring.clear();
+    table->ring_start = table->ring_size = 0;
+    table->dropped = 0;
   }
 }
 

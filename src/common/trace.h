@@ -19,6 +19,15 @@
 // spans double as progress stopwatches). Instrumented code must be
 // bit-identical with tracing on or off — spans only observe time.
 //
+// Timeline events (NVM_TRACE_EVENTS=<path>): besides the aggregated
+// stats, every span can additionally record begin/end events into a
+// bounded per-thread ring buffer (drop-oldest, dropped tally under the
+// trace/events_dropped counter), flushed as chrome://tracing /
+// Perfetto-loadable JSON at process exit or on demand (flush_events).
+// Event capture is off unless the env var is set or enable_events() is
+// called, and costs one relaxed load per span when off — span-observing
+// code stays bit-identical either way.
+//
 // Consistency note: a thread's stat fields are written individually
 // (relaxed); a snapshot taken while spans are closing may be momentarily
 // inconsistent by one in-flight span. Export at run boundaries.
@@ -49,21 +58,30 @@ namespace detail {
 /// Records one closed span of `ns` nanoseconds under `name` (keyed by the
 /// literal's pointer on the fast path, merged by content at snapshot).
 void record(const char* name, std::uint64_t ns);
+/// True when begin/end event capture is on (one relaxed load).
+bool events_on();
+/// Appends one 'B'/'E' event at steady-clock time `t` to the calling
+/// thread's event ring.
+void event(const char* name, char ph, std::chrono::steady_clock::time_point t);
 }  // namespace detail
 
 /// RAII span: measures construction -> destruction.
 class Span {
  public:
   explicit Span(const char* name)
-      : name_(name), start_(std::chrono::steady_clock::now()) {}
+      : name_(name), start_(std::chrono::steady_clock::now()) {
+    if (detail::events_on()) detail::event(name_, 'B', start_);
+  }
   ~Span() {
+    const auto end = std::chrono::steady_clock::now();
     if (enabled())
       detail::record(
           name_,
           static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  std::chrono::steady_clock::now() - start_)
+              std::chrono::duration_cast<std::chrono::nanoseconds>(end -
+                                                                   start_)
                   .count()));
+    if (detail::events_on()) detail::event(name_, 'E', end);
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -80,6 +98,53 @@ class Span {
   const char* name_;
   std::chrono::steady_clock::time_point start_;
 };
+
+// ---------------------------------------------------------------------------
+// Timeline events (chrome://tracing export)
+
+/// One begin/end event. `ts_ns` is nanoseconds since the capture epoch
+/// (the enable_events call), strictly from the thread's own steady-clock
+/// reads, so per-thread sequences are monotone by construction.
+struct Event {
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;
+  char ph = 'B';  ///< 'B' (span open) or 'E' (span close)
+};
+
+/// One thread's balanced event stream (see events_snapshot()).
+struct ThreadEvents {
+  std::uint64_t tid = 0;
+  std::vector<Event> events;
+  /// Ring overwrites plus flush-time unmatched ends whose begins were
+  /// overwritten (the exported stream is always balanced).
+  std::uint64_t dropped = 0;
+};
+
+/// Turns on begin/end event capture. `path` is where flush_events() (and
+/// the at-exit flush) writes the chrome-trace JSON; empty captures
+/// without an at-exit flush (tests flush explicitly). `ring_capacity` is
+/// per-thread events retained (drop-oldest beyond it).
+void enable_events(const std::string& path, std::size_t ring_capacity = 65536);
+/// Stops event capture (already-captured events stay flushable).
+void disable_events();
+bool events_enabled();
+
+/// Per-thread event streams, post-balanced: unmatched 'E' events (begin
+/// overwritten by the ring) are dropped and counted, unmatched trailing
+/// 'B' events (spans still open) are elided, so every stream is a
+/// well-nested B/E sequence with monotone timestamps.
+std::vector<ThreadEvents> events_snapshot();
+
+/// Writes the chrome://tracing JSON ("traceEvents" array of B/E events,
+/// ts in microseconds) to `path` crash-safely (tmp + fsync + rename).
+/// Returns false on I/O failure. Safe to call at any time; capture
+/// continues afterwards.
+bool flush_events(const std::string& path);
+/// Flushes to the path given to enable_events (no-op when none is set).
+void flush_events();
+
+/// Tests only: clears every event ring and disables capture.
+void reset_events_for_tests();
 
 /// All span stats, merged across every thread that ever recorded one,
 /// sorted by name. Stats survive thread exit.

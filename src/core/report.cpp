@@ -3,12 +3,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/file_cache.h"
 #include "common/health.h"
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 
 namespace nvm::core {
@@ -283,11 +285,10 @@ void RunManifest::write() {
   const std::vector<metrics::MetricValue> deltas =
       metrics::delta(metrics::snapshot(), metrics_base_);
 
-  std::ofstream os(path_, std::ios::trunc);
-  if (!os) {
-    NVM_LOG(Warn) << "cannot open metrics manifest " << path_;
-    return;
-  }
+  // Build the whole document in memory and publish it crash-safely
+  // (tmp + fsync + rename): a run killed mid-write never leaves a
+  // truncated manifest behind.
+  std::ostringstream os;
   JsonWriter j(os);
   j.begin_object();
   j.key("run");
@@ -387,9 +388,36 @@ void RunManifest::write() {
   }
   j.end_object();
 
+  // Streaming-telemetry series (common/telemetry.h): absolute sampled
+  // values in pulse order, not deltas — a pulse may predate this
+  // manifest's construction when several runs share a process.
+  j.key("telemetry");
+  j.begin_object();
+  j.key("capacity");
+  j.value(static_cast<std::uint64_t>(telemetry::capacity()));
+  j.key("series");
+  j.begin_object();
+  for (const telemetry::Series& s : telemetry::snapshot()) {
+    if (s.ticks.empty() && s.dropped == 0) continue;
+    j.key(s.metric);
+    j.begin_object();
+    j.key("ticks");
+    j.begin_array();
+    for (const std::uint64_t t : s.ticks) j.value(t);
+    j.end_array();
+    j.key("values");
+    j.begin_array();
+    for (const double v : s.values) j.value(v);
+    j.end_array();
+    j.key("dropped");
+    j.value(s.dropped);
+    j.end_object();
+  }
   j.end_object();
-  os.flush();
-  if (!os)
+  j.end_object();
+
+  j.end_object();
+  if (!atomic_write_file(path_, os.str()))
     NVM_LOG(Warn) << "write failed for metrics manifest " << path_;
   else
     NVM_LOG(Info) << "metrics manifest written to " << path_;

@@ -9,6 +9,7 @@
 #include "attack/attack_model.h"
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/evaluator.h"
@@ -188,6 +189,12 @@ FleetResult FleetSimulator::run(const SchedulerConfig& sched_cfg,
   RecalibrationScheduler scheduler(sched_cfg, unit.write_energy_nj);
   SlaMonitor sla(sla_cfg);
 
+  // Streaming telemetry over the fleet lifetime: the epoch index is the
+  // tick, so the exported series reads as an aging trajectory.
+  telemetry::track("fleet/chips_alive");
+  telemetry::track("fleet/chips_retired");
+  telemetry::track("fleet/chips_sampled");
+
   double fleet_time_s = 0.0;
   for (std::int64_t epoch = 0; epoch < opt_.epochs; ++epoch) {
     NVM_TRACE_SPAN("fleet/epoch");
@@ -302,6 +309,7 @@ FleetResult FleetSimulator::run(const SchedulerConfig& sched_cfg,
     result.total_retirements += actions.retirements;
     result.total_sla_violations += sla_report.violations;
     result.epochs.push_back(std::move(summary));
+    telemetry::sample_all(static_cast<std::uint64_t>(epoch));
   }
 
   // Lifetime aggregates + the accuracy-per-cost score the bench compares

@@ -15,6 +15,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "common/trace.h"
 
 namespace nvm::serve {
@@ -64,6 +65,24 @@ metrics::Histogram& m_batch_size() {
 }
 metrics::Histogram& m_queue_latency() {
   static metrics::Histogram& h = metrics::histogram("serve/queue_latency_ns");
+  return h;
+}
+// Per-request stage histograms (see StageBreakdown in serve.h). Observed
+// once per request; batch-level stages repeat for every rider so the
+// histogram mass reflects what requests experienced, not what the
+// scheduler did.
+metrics::Histogram& m_stage_batch_form() {
+  static metrics::Histogram& h =
+      metrics::histogram("serve/stage/batch_form_ns");
+  return h;
+}
+metrics::Histogram& m_stage_matmul() {
+  static metrics::Histogram& h = metrics::histogram("serve/stage/matmul_ns");
+  return h;
+}
+metrics::Histogram& m_stage_epilogue() {
+  static metrics::Histogram& h =
+      metrics::histogram("serve/stage/epilogue_ns");
   return h;
 }
 
@@ -229,18 +248,24 @@ void Server::Impl::process_batch(
   // of the tiled analog path.
   Tensor x_block({feat, n});
   std::vector<double> queue_ns(static_cast<std::size_t>(n));
-  for (std::int64_t k = 0; k < n; ++k) {
-    const detail::Request& req = *live[static_cast<std::size_t>(k)];
-    const float* src = req.x.raw();
-    float* dst = x_block.raw();
-    for (std::int64_t i = 0; i < feat; ++i) dst[i * n + k] = src[i];
-    queue_ns[static_cast<std::size_t>(k)] =
-        ns_between(req.enqueued, assembled);
-    m_queue_latency().observe(queue_ns[static_cast<std::size_t>(k)]);
+  {
+    NVM_TRACE_SPAN("serve/stage/batch_form");
+    for (std::int64_t k = 0; k < n; ++k) {
+      const detail::Request& req = *live[static_cast<std::size_t>(k)];
+      const float* src = req.x.raw();
+      float* dst = x_block.raw();
+      for (std::int64_t i = 0; i < feat; ++i) dst[i * n + k] = src[i];
+      queue_ns[static_cast<std::size_t>(k)] =
+          ns_between(req.enqueued, assembled);
+      m_queue_latency().observe(queue_ns[static_cast<std::size_t>(k)]);
+    }
   }
+  const Clock::time_point formed = Clock::now();
+  const double batch_form_ns = ns_between(assembled, formed);
 
   Tensor logits;
   try {
+    NVM_TRACE_SPAN("serve/stage/matmul");
     logits = backend.logits_block(x_block);
     NVM_CHECK_EQ(logits.dim(0), classes);
     NVM_CHECK_EQ(logits.dim(1), n);
@@ -256,21 +281,40 @@ void Server::Impl::process_batch(
     }
     return;
   }
+  const Clock::time_point matmul_done = Clock::now();
+  const double matmul_ns = ns_between(formed, matmul_done);
 
   m_batches().add();
   m_batch_size().observe(static_cast<double>(n));
   m_served().add(static_cast<std::uint64_t>(n));
-  for (std::int64_t k = 0; k < n; ++k) {
-    Reply r;
-    r.status = ReplyStatus::Ok;
-    r.logits = Tensor({classes});
-    for (std::int64_t j = 0; j < classes; ++j)
-      r.logits[j] = logits.at(j, k);
-    r.label = r.logits.argmax();
-    r.batch_size = n;
-    r.queue_ns = queue_ns[static_cast<std::size_t>(k)];
-    live[static_cast<std::size_t>(k)]->fulfill(std::move(r));
+  {
+    NVM_TRACE_SPAN("serve/stage/epilogue");
+    for (std::int64_t k = 0; k < n; ++k) {
+      Reply r;
+      r.status = ReplyStatus::Ok;
+      r.logits = Tensor({classes});
+      for (std::int64_t j = 0; j < classes; ++j)
+        r.logits[j] = logits.at(j, k);
+      r.label = r.logits.argmax();
+      r.batch_size = n;
+      r.queue_ns = queue_ns[static_cast<std::size_t>(k)];
+      r.stages.queue_wait_ns = r.queue_ns;
+      r.stages.batch_form_ns = batch_form_ns;
+      r.stages.matmul_ns = matmul_ns;
+      // Epilogue up to *this* reply: scatter/argmax work ahead of it in
+      // the batch is time the request really waited post-matmul.
+      r.stages.epilogue_ns = ns_between(matmul_done, Clock::now());
+      m_stage_batch_form().observe(batch_form_ns);
+      m_stage_matmul().observe(matmul_ns);
+      m_stage_epilogue().observe(r.stages.epilogue_ns);
+      live[static_cast<std::size_t>(k)]->fulfill(std::move(r));
+    }
   }
+
+  // Streaming-telemetry pulse, one per micro-batch, ticked by the batch
+  // counter (no wall clock): tracked serve/* series get their trajectory
+  // sampled at the scheduler's natural cadence.
+  telemetry::sample_all(m_batches().value());
 }
 
 Server::Server(BatchClassifier& backend, ServeOptions opt) : opt_(opt) {
@@ -280,6 +324,13 @@ Server::Server(BatchClassifier& backend, ServeOptions opt) : opt_(opt) {
   NVM_CHECK_GE(opt_.timeout_us, 0);
   NVM_CHECK_GT(backend.feature_dim(), 0);
   NVM_CHECK_GT(backend.classes(), 0);
+  // Default streaming-telemetry coverage for the serve path: the batch
+  // counter's trajectory plus the queue/stage histograms (sampled as
+  // cumulative observation counts), pulsed once per micro-batch.
+  telemetry::track("serve/batches");
+  telemetry::track("serve/served");
+  telemetry::track("serve/queue_latency_ns");
+  telemetry::track("serve/stage/matmul_ns");
   impl_ = std::make_unique<Impl>(backend, opt_);
   impl_->scheduler = std::thread([this] { impl_->scheduler_loop(); });
 }

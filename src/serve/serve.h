@@ -92,6 +92,21 @@ enum class ReplyStatus {
 };
 const char* to_string(ReplyStatus s);
 
+/// Per-request serve-path stage breakdown (nanoseconds). The stages tile
+/// the request's server-side lifetime: queue_wait (admission -> its batch
+/// starts assembling), batch_form (gathering the micro-batch into one RHS
+/// block), matmul (the batched analog logits_block call), epilogue
+/// (per-column logits scatter + argmax until this reply is fulfilled).
+/// batch_form and matmul are properties of the whole micro-batch, shared
+/// by every request that rode in it. Exported as serve/stage/* histograms
+/// (manifest adds p50/p99) and as trace spans/events.
+struct StageBreakdown {
+  double queue_wait_ns = 0.0;
+  double batch_form_ns = 0.0;
+  double matmul_ns = 0.0;
+  double epilogue_ns = 0.0;
+};
+
 struct Reply {
   ReplyStatus status = ReplyStatus::Shutdown;
   Tensor logits;                ///< (classes), Ok only
@@ -99,6 +114,7 @@ struct Reply {
   std::int64_t batch_size = 0;  ///< size of the micro-batch it rode in
   double queue_ns = 0.0;        ///< admission -> batch assembly
   double total_ns = 0.0;        ///< admission -> reply fulfilled
+  StageBreakdown stages;        ///< serve-path stage timing, Ok only
 };
 
 struct ServeOptions {

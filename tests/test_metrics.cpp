@@ -131,16 +131,34 @@ TEST(Metrics, QuantileHandlesOverflowAndDegenerateInputs) {
   // semantics): the histogram cannot see further than its last edge.
   EXPECT_DOUBLE_EQ(metrics::quantile(m, 0.99), 20.0);
 
+  // All mass in the overflow bucket: every quantile clamps to the last
+  // finite bound instead of extrapolating beyond the histogram's range.
+  metrics::MetricValue overflow_only;
+  overflow_only.kind = metrics::Kind::Histogram;
+  overflow_only.bounds = {10.0, 20.0};
+  overflow_only.buckets = {0, 0, 5};
+  overflow_only.count = 5;
+  EXPECT_DOUBLE_EQ(metrics::quantile(overflow_only, 0.01), 20.0);
+  EXPECT_DOUBLE_EQ(metrics::quantile(overflow_only, 0.99), 20.0);
+
+  // Degenerate inputs have no defined quantile: NaN, not a fake 0.0 (the
+  // manifest writer serializes NaN as JSON null, so consumers can tell
+  // "no data" from "measured zero").
   metrics::MetricValue empty;
   empty.kind = metrics::Kind::Histogram;
   empty.bounds = {10.0};
   empty.buckets = {0, 0};
-  EXPECT_DOUBLE_EQ(metrics::quantile(empty, 0.5), 0.0);
+  EXPECT_TRUE(std::isnan(metrics::quantile(empty, 0.5)));
 
   metrics::MetricValue counter;  // non-histogram
   counter.kind = metrics::Kind::Counter;
   counter.value = 7.0;
-  EXPECT_DOUBLE_EQ(metrics::quantile(counter, 0.5), 0.0);
+  EXPECT_TRUE(std::isnan(metrics::quantile(counter, 0.5)));
+
+  metrics::MetricValue boundless;  // histogram with no buckets at all
+  boundless.kind = metrics::Kind::Histogram;
+  boundless.count = 3;
+  EXPECT_TRUE(std::isnan(metrics::quantile(boundless, 0.5)));
 }
 
 TEST(Metrics, SnapshotAndDelta) {
