@@ -21,6 +21,11 @@
 //       Stand up the micro-batching inference service over a crossbar-
 //       deployed linear classifier and drive it with deterministic
 //       open-loop Poisson traffic; reports throughput and latency.
+//   serve_cluster [--shards N] [--policy P] [--rate RPS] [--requests N]
+//       [--drain_race 0|1]
+//       Sharded multi-tenant serving cluster (DESIGN.md §16): routed
+//       open-loop traffic with per-shard latency rows, or (--drain_race)
+//       an accounting check racing submitters against graceful drain.
 //   fleet_sim --task NAME [--chips N] [--epochs E] [--sample K] [--dt SEC]
 //       [--policy never|always|threshold|budgeted] [--n K] [--attack pgd|none]
 //       Time-stepped population-scale aging simulation: chip-seeded
@@ -32,12 +37,17 @@
 // Every subcommand accepts --metrics-out PATH (or the NVM_METRICS_OUT env
 // var) to write a JSON run manifest with the crossbar config, results, and
 // metric/health/span deltas of the run (see DESIGN.md §10).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "attack/pgd.h"
 #include "attack/square.h"
@@ -51,6 +61,7 @@
 #include "nn/loss.h"
 #include "puma/hw_network.h"
 #include "puma/tiled_mvm.h"
+#include "serve/cluster.h"
 #include "serve/serve.h"
 #include "tensor/ops.h"
 #include "xbar/fast_noise.h"
@@ -576,6 +587,153 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   return rep.errors == 0 ? 0 : 1;
 }
 
+int cmd_serve_cluster(const std::map<std::string, std::string>& flags) {
+  core::RunManifest manifest = manifest_for("serve_cluster", flags);
+
+  xbar::CrossbarConfig cfg = xbar::xbar_32x32_100k();
+  manifest.set_xbar(cfg);
+  auto model = std::make_shared<xbar::FastNoiseModel>(cfg);
+
+  // NVM_CLUSTER_* env fallbacks first, then explicit flags win.
+  serve::ClusterOptions opt = serve::ClusterOptions::from_env();
+  opt.shards = static_cast<std::int64_t>(
+      flag_or(flags, "shards", static_cast<double>(opt.shards)));
+  if (opt.shards < 1) opt.shards = 1;
+  if (const auto it = flags.find("policy"); it != flags.end()) {
+    if (!serve::try_parse_policy(it->second, &opt.policy)) {
+      std::fprintf(stderr,
+                   "serve_cluster: --policy must be round_robin | "
+                   "consistent_hash | least_loaded\n");
+      return 2;
+    }
+  }
+  opt.vnodes =
+      static_cast<int>(flag_or(flags, "vnodes", static_cast<double>(opt.vnodes)));
+  opt.threads_per_shard = static_cast<std::int64_t>(flag_or(
+      flags, "shard_threads", static_cast<double>(opt.threads_per_shard)));
+  opt.serve.max_batch = static_cast<std::int64_t>(
+      flag_or(flags, "batch", static_cast<double>(opt.serve.max_batch)));
+  opt.serve.flush_us = static_cast<std::int64_t>(
+      flag_or(flags, "flush_us", static_cast<double>(opt.serve.flush_us)));
+  opt.serve.queue_capacity = static_cast<std::int64_t>(
+      flag_or(flags, "queue", static_cast<double>(opt.serve.queue_capacity)));
+  opt.serve.timeout_us = static_cast<std::int64_t>(
+      flag_or(flags, "timeout_us", static_cast<double>(opt.serve.timeout_us)));
+
+  const auto classes = static_cast<std::int64_t>(flag_or(flags, "classes", 16));
+  const auto feat = static_cast<std::int64_t>(flag_or(flags, "features", 128));
+  const auto seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 1));
+  Rng wrng(derive_seed(seed, 0));
+  Tensor w({classes, feat});
+  for (auto& v : w.data()) v = static_cast<float>(wrng.uniform(-1.0, 1.0));
+
+  serve::Cluster cluster(opt);
+  // Two tenants resident (multi-tenant by default); traffic below targets
+  // "primary" only so the run stays comparable with `serve`.
+  cluster.add_model(
+      serve::tiled_linear_spec("primary", w, model, puma::HwConfig{}, 1.0f));
+  cluster.add_model(
+      serve::tiled_linear_spec("secondary", w, model, puma::HwConfig{}, 1.0f));
+
+  const auto n = static_cast<std::int64_t>(flag_or(flags, "requests", 400));
+  Rng xrng(derive_seed(seed, 1));
+  std::vector<Tensor> requests;
+  requests.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    Tensor x({feat});
+    for (auto& v : x.data()) v = static_cast<float>(xrng.uniform());
+    requests.push_back(std::move(x));
+  }
+
+  manifest.set_note("cluster", "shards=" + std::to_string(opt.shards) +
+                                   " policy=" + to_string(opt.policy) +
+                                   " vnodes=" + std::to_string(opt.vnodes));
+  manifest.add_result("shards", static_cast<double>(opt.shards));
+
+  const bool drain_race = flag_or(flags, "drain_race", 0.0) != 0.0;
+  if (drain_race) {
+    // Drain-under-fire accounting check: submitters race a cluster-wide
+    // drain; every submit must still resolve to a terminal reply, and
+    // nothing admitted may be lost. Exit 1 on any unaccounted request.
+    const int n_threads = 4;
+    const std::int64_t per_thread = (n + n_threads - 1) / n_threads;
+    std::atomic<std::int64_t> ok{0}, shutdown{0}, shed{0}, other{0};
+    std::vector<std::thread> workers;
+    std::int64_t submitted = 0;
+    for (int t = 0; t < n_threads; ++t) {
+      const std::int64_t lo = t * per_thread;
+      const std::int64_t hi = std::min<std::int64_t>(n, lo + per_thread);
+      if (lo >= hi) break;
+      submitted += hi - lo;
+      workers.emplace_back([&, lo, hi] {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const serve::Reply r = cluster.classify(
+              "primary", static_cast<std::uint64_t>(i),
+              requests[static_cast<std::size_t>(i)]);
+          if (r.status == serve::ReplyStatus::Ok) ok.fetch_add(1);
+          else if (r.status == serve::ReplyStatus::Shutdown) shutdown.fetch_add(1);
+          else if (r.status == serve::ReplyStatus::Shed) shed.fetch_add(1);
+          else other.fetch_add(1);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    cluster.drain();
+    for (auto& th : workers) th.join();
+    const std::int64_t accounted = ok.load() + shutdown.load() + shed.load();
+    const bool all_accounted =
+        other.load() == 0 && accounted == submitted;
+    std::printf(
+        "serve_cluster drain race: %lld submitted, %lld ok / %lld shutdown / "
+        "%lld shed / %lld other -> %s\n",
+        static_cast<long long>(submitted), static_cast<long long>(ok.load()),
+        static_cast<long long>(shutdown.load()),
+        static_cast<long long>(shed.load()),
+        static_cast<long long>(other.load()),
+        all_accounted ? "all accounted" : "LOST REQUESTS");
+    manifest.add_result("requests_submitted", static_cast<double>(submitted));
+    manifest.add_result("requests_ok", static_cast<double>(ok.load()));
+    manifest.add_result("requests_shutdown",
+                        static_cast<double>(shutdown.load()));
+    manifest.add_result("requests_shed", static_cast<double>(shed.load()));
+    manifest.add_result("all_accounted", all_accounted ? 1.0 : 0.0);
+    return all_accounted ? 0 : 1;
+  }
+
+  serve::TrafficOptions traffic;
+  traffic.rate_rps = flag_or(flags, "rate", 2000.0);
+  traffic.seed = derive_seed(seed, 2);
+  const std::vector<std::string> tenants = {"primary"};
+  const serve::ClusterTrafficReport rep =
+      run_cluster_open_loop(cluster, tenants, requests, traffic);
+  cluster.drain();
+
+  std::printf(
+      "serve_cluster on %s: %lld shards, %s dispatch, %lldx%lld classifier, "
+      "2 tenants\n  %lld ok / %lld shed / %lld timeout at %.0f rps offered\n"
+      "  throughput %.0f rps, latency p50 %.3f ms p99 %.3f ms\n",
+      cfg.name.c_str(), static_cast<long long>(opt.shards),
+      to_string(opt.policy), static_cast<long long>(classes),
+      static_cast<long long>(feat), static_cast<long long>(rep.total.ok),
+      static_cast<long long>(rep.total.shed),
+      static_cast<long long>(rep.total.timed_out), traffic.rate_rps,
+      rep.total.throughput_rps, rep.total.p50_ms, rep.total.p99_ms);
+  for (std::size_t k = 0; k < rep.shards.size(); ++k) {
+    const auto& s = rep.shards[k];
+    std::printf("  shard %zu: %lld ok, p50 %.3f ms p99 %.3f ms\n", k,
+                static_cast<long long>(s.ok), s.p50_ms, s.p99_ms);
+    const std::string key = "shard" + std::to_string(k) + "_";
+    manifest.add_result(key + "ok", static_cast<double>(s.ok));
+    manifest.add_result(key + "p99_ms", s.p99_ms);
+  }
+  manifest.add_result("requests_ok", static_cast<double>(rep.total.ok));
+  manifest.add_result("requests_shed", static_cast<double>(rep.total.shed));
+  manifest.add_result("throughput_rps", rep.total.throughput_rps);
+  manifest.add_result("latency_p50_ms", rep.total.p50_ms);
+  manifest.add_result("latency_p99_ms", rep.total.p99_ms);
+  return rep.total.errors == 0 ? 0 : 1;
+}
+
 void usage() {
   std::printf(
       "usage: nvmrobust_cli <command> [--flag value ...]\n"
@@ -593,6 +751,13 @@ void usage() {
       "          --timeout_us US --model fast_noise|ideal]\n"
       "                                      micro-batching inference service\n"
       "                                      under open-loop Poisson traffic\n"
+      "  serve_cluster [--shards N --policy round_robin|consistent_hash|\n"
+      "          least_loaded --vnodes V --shard_threads T --rate RPS\n"
+      "          --requests N --batch B --flush_us US --queue Q\n"
+      "          --timeout_us US --classes C --features F --drain_race 0|1]\n"
+      "                                      sharded multi-tenant serving\n"
+      "                                      cluster; --drain_race 1 races\n"
+      "                                      submitters against drain()\n"
       "  fleet_sim --task NAME [--model fast_noise|geniex|solver --chips N\n"
       "            --epochs E --sample K --dt SEC --policy never|always|\n"
       "            threshold|budgeted --budget B --n K --attack pgd|none\n"
@@ -602,6 +767,8 @@ void usage() {
       "crossbar MODEL is one of: 64x64_300k, 32x32_100k, 64x64_100k\n"
       "serve also honours NVM_SERVE_MAX_BATCH / NVM_SERVE_FLUSH_US /\n"
       "NVM_SERVE_QUEUE_CAP / NVM_SERVE_TIMEOUT_US\n"
+      "serve_cluster also honours NVM_CLUSTER_SHARDS / NVM_CLUSTER_POLICY /\n"
+      "NVM_CLUSTER_VNODES / NVM_CLUSTER_SHARD_THREADS (flags win)\n"
       "fleet_sim also honours NVM_FLEET_CHIPS / NVM_FLEET_EPOCHS /\n"
       "NVM_FLEET_SAMPLE / NVM_FLEET_DT_S / NVM_FLEET_AGE_SPREAD_S /\n"
       "NVM_FLEET_SEED / NVM_FLEET_POLICY\n"
@@ -632,6 +799,7 @@ int main(int argc, char** argv) {
   if (cmd == "fault_sweep") return cmd_fault_sweep(flags);
   if (cmd == "fleet_sim") return cmd_fleet_sim(flags);
   if (cmd == "serve") return cmd_serve(flags);
+  if (cmd == "serve_cluster") return cmd_serve_cluster(flags);
   usage();
   return 2;
 }

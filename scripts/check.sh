@@ -92,6 +92,57 @@ EOF
 echo "== tier-1: serving smoke (micro-batching service) =="
 serve_smoke ./build/examples/nvmrobust_cli /tmp/nvmrobust_check_serve.json
 
+# Sharded-cluster smoke: routed open-loop traffic across two shards at a
+# load well below saturation must shed nothing, and round-robin dispatch
+# must provably exercise both shards (least_loaded would park this light
+# load on shard 0 via its lowest-index tie-break).
+cluster_smoke() {
+  local cli="$1" manifest="$2"
+  rm -f "$manifest"
+  "$cli" serve_cluster --requests 240 --rate 1200 --shards 2 \
+    --policy round_robin --queue 1024 --metrics-out "$manifest"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$manifest" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["run"] == "cli/serve_cluster", m["run"]
+r = m["results"]
+assert r["requests_shed"] == 0, "cluster smoke must not shed below saturation"
+assert r["requests_ok"] == 240, r["requests_ok"]
+assert r["shard0_ok"] > 0 and r["shard1_ok"] > 0, \
+    "round-robin must serve from both shards: %r" % r
+assert r["shard0_ok"] + r["shard1_ok"] == r["requests_ok"]
+print("cluster manifest ok: %.0f rps, shard split %d/%d"
+      % (r["throughput_rps"], r["shard0_ok"], r["shard1_ok"]))
+EOF
+  else
+    grep -q '"run": "cli/serve_cluster"' "$manifest"
+    grep -q '"requests_shed": 0' "$manifest"
+    echo "cluster manifest ok (grep check)"
+  fi
+}
+
+# Drain-under-fire leg: submitter threads race cluster.drain(); the CLI
+# itself exits nonzero if any request goes unaccounted.
+cluster_drain_smoke() {
+  local cli="$1" manifest="$2"
+  rm -f "$manifest"
+  "$cli" serve_cluster --requests 160 --shards 2 --rate 0 --drain_race 1 \
+    --metrics-out "$manifest"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$manifest" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["results"]["all_accounted"] == 1, m["results"]
+print("cluster drain race ok: %d ok / %d shutdown"
+      % (m["results"]["requests_ok"], m["results"]["requests_shutdown"]))
+EOF
+  fi
+}
+
+echo "== tier-1: serving-cluster smoke (2 shards, round-robin) =="
+cluster_smoke ./build/examples/nvmrobust_cli /tmp/nvmrobust_check_cluster.json
+
 # Fleet-lifetime smoke: the physics and the scheduler must both show
 # through at toy scale. Whole-fleet evaluation (--sample 0) keeps the
 # per-epoch means exact, so the assertions are deterministic.
@@ -186,6 +237,9 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== sanitizer: serving smoke under ASan+UBSan =="
 serve_smoke ./build-asan/examples/nvmrobust_cli /tmp/nvmrobust_check_serve_asan.json
+
+echo "== sanitizer: cluster drain race under ASan+UBSan =="
+cluster_drain_smoke ./build-asan/examples/nvmrobust_cli /tmp/nvmrobust_check_cluster_asan.json
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== sanitizer: fleet lifetime smoke under ASan+UBSan =="

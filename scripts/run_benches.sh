@@ -42,6 +42,10 @@ run mvm_perf "$BUILD/bench/bench_mvm_perf" \
 # saturation, max_batch 1 vs 32; exits nonzero if batching fails to beat
 # batch-1 or a reply changes with batch composition.
 run serve "$BUILD/bench/bench_serve"
+# Sharded serving cluster: saturation vs shard count, dispatch-policy
+# comparison, and an overload/shed leg; exits nonzero if routed labels
+# drift across configs or the overload leg loses requests.
+run serve_cluster "$BUILD/bench/bench_serve_cluster"
 # Fleet lifetime: the same aging fleet under all four recalibration
 # policies; exits nonzero unless threshold/budgeted beat both the never
 # and always baselines on accuracy per unit recalibration energy.

@@ -115,6 +115,57 @@ Histogram& histogram(const std::string& name, std::vector<double> bounds) {
   return *find_or_create(name, Kind::Histogram, std::move(bounds)).histogram;
 }
 
+std::string sanitize_name_component(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                       c == '_' || c == '.';
+    out.push_back(legal ? c : '_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+struct Scope::Cache {
+  std::mutex mu;
+  std::map<std::string, Counter*> counters;
+  std::map<std::string, Gauge*> gauges;
+  std::map<std::string, Histogram*> histograms;
+};
+
+Scope::Scope(std::string prefix)
+    : prefix_(std::move(prefix)), cache_(std::make_shared<Cache>()) {
+  check_name(prefix_);
+}
+
+std::string Scope::full_name(const std::string& leaf) const {
+  return prefix_ + "/" + leaf;
+}
+
+Counter& Scope::counter(const std::string& leaf) {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  Counter*& c = cache_->counters[leaf];
+  if (c == nullptr) c = &metrics::counter(full_name(leaf));
+  return *c;
+}
+
+Gauge& Scope::gauge(const std::string& leaf) {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  Gauge*& g = cache_->gauges[leaf];
+  if (g == nullptr) g = &metrics::gauge(full_name(leaf));
+  return *g;
+}
+
+Histogram& Scope::histogram(const std::string& leaf,
+                            std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(cache_->mu);
+  Histogram*& h = cache_->histograms[leaf];
+  if (h == nullptr) h = &metrics::histogram(full_name(leaf), std::move(bounds));
+  return *h;
+}
+
 double quantile(const MetricValue& m, double q) {
   // An empty histogram (or a non-histogram) has no quantiles: NaN, not a
   // fabricated 0, so consumers can tell "no observations" from "all

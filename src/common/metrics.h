@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,8 +52,13 @@ class Counter {
 class Gauge {
  public:
   void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Relaxed atomic increment (negative deltas decrement): lets several
+  /// writers maintain one gauge additively — e.g. the per-shard queue
+  /// depth summed across every per-model server resident on the shard —
+  /// where racing set(value()+d) calls would lose updates.
+  void add(double delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
   double value() const { return v_.load(std::memory_order_relaxed); }
-  void reset() { set(0.0); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
 
  private:
   std::atomic<double> v_{0.0};
@@ -97,6 +103,48 @@ Gauge& gauge(const std::string& name);
 Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
 
 enum class Kind { Counter, Gauge, Histogram };
+
+/// Folds arbitrary text (model names, tenant ids) into a legal metric name
+/// component: uppercase is lowered, every other character outside
+/// [a-z0-9_.] becomes '_' ('/' included — a component must not introduce
+/// hierarchy), and an empty input becomes "_". "SCIFAR10-v2" -> "scifar10_v2".
+std::string sanitize_name_component(const std::string& text);
+
+/// Prefix-scoped view of the registry for families of series that share a
+/// hierarchy level ("serve/shard3", "fleet/cohort/west"). Two jobs:
+///   * name construction happens once per series, not per event — each
+///     counter()/gauge()/histogram() call memoizes the resolved reference
+///     in a per-scope cache, so hot paths never re-format "prefix/name";
+///   * duplicate registration is harmless by construction — two scopes
+///     with the same prefix (two shards loading the same model, a restart
+///     re-registering its series) resolve to the SAME process-wide
+///     metrics, and re-requesting a name through any path aliases instead
+///     of throwing (kind/bounds mismatches still throw, as for the free
+///     functions).
+/// Cache lookups take a per-scope mutex; callers on hot paths should hoist
+/// the returned reference out of their loops (it lives forever, like every
+/// registry reference).
+class Scope {
+ public:
+  /// `prefix` must itself be a valid metric name (checked on first use).
+  explicit Scope(std::string prefix);
+
+  const std::string& prefix() const { return prefix_; }
+  /// "prefix/leaf" — the registry-visible name (e.g. for telemetry::track).
+  std::string full_name(const std::string& leaf) const;
+
+  Counter& counter(const std::string& leaf);
+  Gauge& gauge(const std::string& leaf);
+  /// Empty `bounds` selects duration_ns_bounds(). Bounds only matter on
+  /// the process-wide first registration of the full name.
+  Histogram& histogram(const std::string& leaf,
+                       std::vector<double> bounds = {});
+
+ private:
+  struct Cache;
+  std::string prefix_;
+  std::shared_ptr<Cache> cache_;  // shared_ptr: scopes stay copyable
+};
 
 /// One exported metric value (see snapshot()).
 struct MetricValue {

@@ -1,0 +1,100 @@
+#include "serve/router.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nvm::serve {
+
+const char* to_string(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::RoundRobin: return "round_robin";
+    case DispatchPolicy::ConsistentHash: return "consistent_hash";
+    case DispatchPolicy::LeastLoaded: return "least_loaded";
+  }
+  return "unknown";
+}
+
+bool try_parse_policy(const std::string& text, DispatchPolicy* out) {
+  if (text == "round_robin") *out = DispatchPolicy::RoundRobin;
+  else if (text == "consistent_hash") *out = DispatchPolicy::ConsistentHash;
+  else if (text == "least_loaded") *out = DispatchPolicy::LeastLoaded;
+  else return false;
+  return true;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer: full-avalanche, bijective, no state.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+HashRing::HashRing(const std::vector<std::int64_t>& shard_ids, int vnodes) {
+  NVM_CHECK(!shard_ids.empty(), "hash ring needs at least one shard");
+  NVM_CHECK_GT(vnodes, 0);
+  ring_.reserve(shard_ids.size() * static_cast<std::size_t>(vnodes));
+  for (std::int64_t shard : shard_ids) {
+    NVM_CHECK_GE(shard, 0);
+    for (int r = 0; r < vnodes; ++r) {
+      // Point hash depends only on (shard, replica) — adding or removing
+      // a shard never moves the survivors' points.
+      const std::uint64_t h =
+          mix64(mix64(static_cast<std::uint64_t>(shard)) +
+                static_cast<std::uint64_t>(r));
+      ring_.push_back({h, shard});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    // Shard id breaks (astronomically unlikely) hash ties so the order is
+    // fully determined by the inputs.
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+std::int64_t HashRing::owner(std::uint64_t key) const {
+  const std::uint64_t h = mix64(key);
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  return it == ring_.end() ? ring_.front().shard : it->shard;  // wrap
+}
+
+Router::Router(std::int64_t n_shards, DispatchPolicy policy, int vnodes)
+    : n_(n_shards),
+      policy_(policy),
+      ring_([n_shards] {
+        std::vector<std::int64_t> ids(static_cast<std::size_t>(n_shards));
+        for (std::size_t i = 0; i < ids.size(); ++i)
+          ids[i] = static_cast<std::int64_t>(i);
+        return ids;
+      }(), vnodes) {
+  NVM_CHECK_GT(n_, 0);
+}
+
+std::int64_t Router::route(std::uint64_t key,
+                           const std::vector<std::int64_t>& loads) {
+  switch (policy_) {
+    case DispatchPolicy::RoundRobin:
+      return static_cast<std::int64_t>(
+          rr_.fetch_add(1, std::memory_order_relaxed) %
+          static_cast<std::uint64_t>(n_));
+    case DispatchPolicy::ConsistentHash:
+      return ring_.owner(key);
+    case DispatchPolicy::LeastLoaded: {
+      NVM_CHECK_EQ(static_cast<std::int64_t>(loads.size()), n_);
+      // Lowest queue depth wins; ties break to the lowest shard index so
+      // the choice is a pure function of the load vector.
+      std::int64_t best = 0;
+      for (std::int64_t i = 1; i < n_; ++i)
+        if (loads[static_cast<std::size_t>(i)] <
+            loads[static_cast<std::size_t>(best)])
+          best = i;
+      return best;
+    }
+  }
+  return 0;
+}
+
+}  // namespace nvm::serve

@@ -1,0 +1,85 @@
+// Dispatch layer of the serving cluster: picks the worker shard for each
+// request. Three pluggable policies (DESIGN.md §16):
+//
+//   * RoundRobin      — baseline fairness; shard = counter++ % n.
+//   * ConsistentHash  — stable key -> shard affinity over a hash ring with
+//                       virtual nodes, so a request key keeps hitting the
+//                       same shard (warm solver streams, future per-key
+//                       caches) and removing a shard only remaps the keys
+//                       it owned (~1/n of the space), never shuffling the
+//                       survivors' keys among themselves.
+//   * LeastLoaded     — shard with the smallest published queue depth at
+//                       submit time (ties break to the lowest index); the
+//                       depths come from the per-shard queue_depth gauges
+//                       every Server maintains.
+//
+// Routing is pure dispatch: policies never change WHAT a shard computes,
+// only WHERE a request runs, so the cluster's bit-identity contract holds
+// under every policy (tests/test_serve_cluster.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvm::serve {
+
+enum class DispatchPolicy {
+  RoundRobin,
+  ConsistentHash,
+  LeastLoaded,
+};
+
+const char* to_string(DispatchPolicy p);
+/// Parses "round_robin" / "consistent_hash" / "least_loaded"; returns
+/// false (leaving `out` untouched) on anything else.
+bool try_parse_policy(const std::string& text, DispatchPolicy* out);
+
+/// Consistent-hash ring: each shard contributes `vnodes` virtual points at
+/// hash(shard, replica); a key is owned by the first point clockwise from
+/// hash(key). Deterministic — pure splitmix64 mixing, no process state —
+/// so the same (shards, vnodes, key) always maps identically across
+/// processes and runs.
+class HashRing {
+ public:
+  /// `shard_ids` need not be contiguous (a drained shard leaves a hole).
+  HashRing(const std::vector<std::int64_t>& shard_ids, int vnodes);
+
+  std::int64_t owner(std::uint64_t key) const;
+  std::int64_t points() const {
+    return static_cast<std::int64_t>(ring_.size());
+  }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::int64_t shard;
+  };
+  std::vector<Point> ring_;  // sorted by hash
+};
+
+/// Splitmix64 finalizer — the ring's hash primitive, exposed for tests.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Policy dispatcher over `n` shards. Stateless except for the round-robin
+/// cursor; safe for concurrent route() calls.
+class Router {
+ public:
+  Router(std::int64_t n_shards, DispatchPolicy policy, int vnodes);
+
+  DispatchPolicy policy() const { return policy_; }
+
+  /// Shard for `key` given the current per-shard queue depths (`loads`
+  /// must have n_shards entries; only LeastLoaded reads it).
+  std::int64_t route(std::uint64_t key,
+                     const std::vector<std::int64_t>& loads);
+
+ private:
+  std::int64_t n_;
+  DispatchPolicy policy_;
+  HashRing ring_;
+  std::atomic<std::uint64_t> rr_{0};
+};
+
+}  // namespace nvm::serve

@@ -24,67 +24,54 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// Every submitted request resolves to exactly one terminal counter:
-// served, shed, timeouts, cancelled, errors, or rejected_shutdown.
-metrics::Counter& m_requests() {
-  static metrics::Counter& c = metrics::counter("serve/requests");
-  return c;
-}
-metrics::Counter& m_served() {
-  static metrics::Counter& c = metrics::counter("serve/served");
-  return c;
-}
-metrics::Counter& m_batches() {
-  static metrics::Counter& c = metrics::counter("serve/batches");
-  return c;
-}
-metrics::Counter& m_shed() {
-  static metrics::Counter& c = metrics::counter("serve/shed");
-  return c;
-}
-metrics::Counter& m_timeouts() {
-  static metrics::Counter& c = metrics::counter("serve/timeouts");
-  return c;
-}
-metrics::Counter& m_cancelled() {
-  static metrics::Counter& c = metrics::counter("serve/cancelled");
-  return c;
-}
-metrics::Counter& m_errors() {
-  static metrics::Counter& c = metrics::counter("serve/errors");
-  return c;
-}
-metrics::Counter& m_rejected_shutdown() {
-  static metrics::Counter& c = metrics::counter("serve/rejected_shutdown");
-  return c;
-}
-metrics::Histogram& m_batch_size() {
-  static metrics::Histogram& h = metrics::histogram(
-      "serve/batch_size", {1, 2, 4, 8, 16, 32, 64, 128, 256});
-  return h;
-}
-metrics::Histogram& m_queue_latency() {
-  static metrics::Histogram& h = metrics::histogram("serve/queue_latency_ns");
-  return h;
-}
-// Per-request stage histograms (see StageBreakdown in serve.h). Observed
-// once per request; batch-level stages repeat for every rider so the
-// histogram mass reflects what requests experienced, not what the
-// scheduler did.
-metrics::Histogram& m_stage_batch_form() {
-  static metrics::Histogram& h =
-      metrics::histogram("serve/stage/batch_form_ns");
-  return h;
-}
-metrics::Histogram& m_stage_matmul() {
-  static metrics::Histogram& h = metrics::histogram("serve/stage/matmul_ns");
-  return h;
-}
-metrics::Histogram& m_stage_epilogue() {
-  static metrics::Histogram& h =
-      metrics::histogram("serve/stage/epilogue_ns");
-  return h;
-}
+// One server's metric family, resolved once per server from its
+// ServeOptions::metric_scope (standalone servers keep the historical
+// "serve/..." names; cluster shards get "serve/shard<k>/..."). Servers
+// constructed with the same scope alias the same process-wide metrics —
+// the registry's find-or-create makes re-registration a no-op, so a
+// shard's per-model servers tally into one family additively. Every
+// submitted request resolves to exactly one terminal counter: served,
+// shed, timeouts, cancelled, errors, or rejected_shutdown.
+struct ServeMetrics {
+  metrics::Counter& requests;
+  metrics::Counter& served;
+  metrics::Counter& batches;
+  metrics::Counter& shed;
+  metrics::Counter& timeouts;
+  metrics::Counter& cancelled;
+  metrics::Counter& errors;
+  metrics::Counter& rejected_shutdown;
+  /// Admitted-but-undispatched requests. Maintained with Gauge::add (not
+  /// set) so several servers sharing the scope aggregate instead of
+  /// clobbering each other — the signal the least-loaded router reads.
+  metrics::Gauge& queue_depth;
+  metrics::Histogram& batch_size;
+  metrics::Histogram& queue_latency;
+  // Per-request stage histograms (see StageBreakdown in serve.h).
+  // Observed once per request; batch-level stages repeat for every rider
+  // so the histogram mass reflects what requests experienced, not what
+  // the scheduler did.
+  metrics::Histogram& stage_batch_form;
+  metrics::Histogram& stage_matmul;
+  metrics::Histogram& stage_epilogue;
+
+  explicit ServeMetrics(metrics::Scope& s)
+      : requests(s.counter("requests")),
+        served(s.counter("served")),
+        batches(s.counter("batches")),
+        shed(s.counter("shed")),
+        timeouts(s.counter("timeouts")),
+        cancelled(s.counter("cancelled")),
+        errors(s.counter("errors")),
+        rejected_shutdown(s.counter("rejected_shutdown")),
+        queue_depth(s.gauge("queue_depth")),
+        batch_size(s.histogram("batch_size",
+                               {1, 2, 4, 8, 16, 32, 64, 128, 256})),
+        queue_latency(s.histogram("queue_latency_ns")),
+        stage_batch_form(s.histogram("stage/batch_form_ns")),
+        stage_matmul(s.histogram("stage/matmul_ns")),
+        stage_epilogue(s.histogram("stage/epilogue_ns")) {}
+};
 
 double ns_between(Clock::time_point a, Clock::time_point b) {
   return static_cast<double>(
@@ -99,6 +86,7 @@ namespace detail {
 struct Request {
   Tensor x;  // flat (feature_dim)
   Clock::time_point enqueued;
+  std::int64_t shard = -1;  // serving shard (from ServeOptions::shard)
   std::atomic<bool> cancel_requested{false};
 
   std::mutex mu;
@@ -106,10 +94,12 @@ struct Request {
   bool done = false;
   Reply reply;
 
-  /// Terminal transition: records the reply (stamping total_ns) and wakes
-  /// the ticket holder. Called exactly once per request.
+  /// Terminal transition: records the reply (stamping total_ns and the
+  /// shard identity) and wakes the ticket holder. Called exactly once per
+  /// request.
   void fulfill(Reply&& r) {
     r.total_ns = ns_between(enqueued, Clock::now());
+    r.shard = shard;
     {
       std::lock_guard<std::mutex> lock(mu);
       reply = std::move(r);
@@ -164,6 +154,8 @@ ServeOptions ServeOptions::from_env() {
 struct Server::Impl {
   BatchClassifier& backend;
   ServeOptions opt;
+  metrics::Scope scope;
+  ServeMetrics m;
 
   std::mutex mu;
   std::condition_variable work;
@@ -172,7 +164,8 @@ struct Server::Impl {
 
   std::thread scheduler;
 
-  Impl(BatchClassifier& b, ServeOptions o) : backend(b), opt(o) {}
+  Impl(BatchClassifier& b, ServeOptions o)
+      : backend(b), opt(std::move(o)), scope(opt.metric_scope), m(scope) {}
 
   void scheduler_loop();
   void process_batch(std::vector<std::shared_ptr<detail::Request>>& batch);
@@ -207,6 +200,7 @@ void Server::Impl::scheduler_loop() {
         batch.push_back(std::move(queue.front()));
         queue.pop_front();
       }
+      m.queue_depth.add(-static_cast<double>(take));
     }
     process_batch(batch);
   }
@@ -223,14 +217,14 @@ void Server::Impl::process_batch(
   live.reserve(batch.size());
   for (auto& req : batch) {
     if (req->cancel_requested.load(std::memory_order_relaxed)) {
-      m_cancelled().add();
+      m.cancelled.add();
       Reply r;
       r.status = ReplyStatus::Cancelled;
       req->fulfill(std::move(r));
     } else if (opt.timeout_us > 0 &&
                assembled - req->enqueued >
                    std::chrono::microseconds(opt.timeout_us)) {
-      m_timeouts().add();
+      m.timeouts.add();
       Reply r;
       r.status = ReplyStatus::Timeout;
       req->fulfill(std::move(r));
@@ -257,7 +251,7 @@ void Server::Impl::process_batch(
       for (std::int64_t i = 0; i < feat; ++i) dst[i * n + k] = src[i];
       queue_ns[static_cast<std::size_t>(k)] =
           ns_between(req.enqueued, assembled);
-      m_queue_latency().observe(queue_ns[static_cast<std::size_t>(k)]);
+      m.queue_latency.observe(queue_ns[static_cast<std::size_t>(k)]);
     }
   }
   const Clock::time_point formed = Clock::now();
@@ -270,7 +264,7 @@ void Server::Impl::process_batch(
     NVM_CHECK_EQ(logits.dim(0), classes);
     NVM_CHECK_EQ(logits.dim(1), n);
   } catch (const std::exception& e) {
-    m_errors().add(static_cast<std::uint64_t>(n));
+    m.errors.add(static_cast<std::uint64_t>(n));
     NVM_LOG(Error) << "serve backend failed on a batch of " << n << ": "
                    << e.what();
     for (auto& req : live) {
@@ -284,9 +278,9 @@ void Server::Impl::process_batch(
   const Clock::time_point matmul_done = Clock::now();
   const double matmul_ns = ns_between(formed, matmul_done);
 
-  m_batches().add();
-  m_batch_size().observe(static_cast<double>(n));
-  m_served().add(static_cast<std::uint64_t>(n));
+  m.batches.add();
+  m.batch_size.observe(static_cast<double>(n));
+  m.served.add(static_cast<std::uint64_t>(n));
   {
     NVM_TRACE_SPAN("serve/stage/epilogue");
     for (std::int64_t k = 0; k < n; ++k) {
@@ -304,9 +298,9 @@ void Server::Impl::process_batch(
       // Epilogue up to *this* reply: scatter/argmax work ahead of it in
       // the batch is time the request really waited post-matmul.
       r.stages.epilogue_ns = ns_between(matmul_done, Clock::now());
-      m_stage_batch_form().observe(batch_form_ns);
-      m_stage_matmul().observe(matmul_ns);
-      m_stage_epilogue().observe(r.stages.epilogue_ns);
+      m.stage_batch_form.observe(batch_form_ns);
+      m.stage_matmul.observe(matmul_ns);
+      m.stage_epilogue.observe(r.stages.epilogue_ns);
       live[static_cast<std::size_t>(k)]->fulfill(std::move(r));
     }
   }
@@ -314,7 +308,7 @@ void Server::Impl::process_batch(
   // Streaming-telemetry pulse, one per micro-batch, ticked by the batch
   // counter (no wall clock): tracked serve/* series get their trajectory
   // sampled at the scheduler's natural cadence.
-  telemetry::sample_all(m_batches().value());
+  telemetry::sample_all(m.batches.value());
 }
 
 Server::Server(BatchClassifier& backend, ServeOptions opt) : opt_(opt) {
@@ -324,26 +318,30 @@ Server::Server(BatchClassifier& backend, ServeOptions opt) : opt_(opt) {
   NVM_CHECK_GE(opt_.timeout_us, 0);
   NVM_CHECK_GT(backend.feature_dim(), 0);
   NVM_CHECK_GT(backend.classes(), 0);
-  // Default streaming-telemetry coverage for the serve path: the batch
-  // counter's trajectory plus the queue/stage histograms (sampled as
-  // cumulative observation counts), pulsed once per micro-batch.
-  telemetry::track("serve/batches");
-  telemetry::track("serve/served");
-  telemetry::track("serve/queue_latency_ns");
-  telemetry::track("serve/stage/matmul_ns");
   impl_ = std::make_unique<Impl>(backend, opt_);
+  // Default streaming-telemetry coverage for this server's scope: the
+  // batch counter's trajectory, the queue-depth gauge, and the queue/stage
+  // histograms (sampled as cumulative observation counts), pulsed once per
+  // micro-batch by this server's scheduler. track() is idempotent, so
+  // scope-sharing servers do not double-register.
+  telemetry::track(impl_->scope.full_name("batches"));
+  telemetry::track(impl_->scope.full_name("served"));
+  telemetry::track(impl_->scope.full_name("queue_depth"));
+  telemetry::track(impl_->scope.full_name("queue_latency_ns"));
+  telemetry::track(impl_->scope.full_name("stage/matmul_ns"));
   impl_->scheduler = std::thread([this] { impl_->scheduler_loop(); });
 }
 
 Server::~Server() { drain(); }
 
 Server::Ticket Server::submit(Tensor features) {
-  m_requests().add();
+  impl_->m.requests.add();
   NVM_CHECK_EQ(features.numel(), impl_->backend.feature_dim());
   auto req = std::make_shared<detail::Request>();
   features.reshape({features.numel()});
   req->x = std::move(features);
   req->enqueued = Clock::now();
+  req->shard = opt_.shard;
 
   bool admitted = false;
   ReplyStatus rejection = ReplyStatus::Shutdown;
@@ -360,14 +358,31 @@ Server::Ticket Server::submit(Tensor features) {
     }
   }
   if (admitted) {
+    impl_->m.queue_depth.add(1.0);
     impl_->work.notify_one();
   } else {
-    (rejection == ReplyStatus::Shed ? m_shed() : m_rejected_shutdown()).add();
+    (rejection == ReplyStatus::Shed ? impl_->m.shed
+                                    : impl_->m.rejected_shutdown)
+        .add();
     Reply r;
     r.status = rejection;
     req->fulfill(std::move(r));
   }
   return Ticket(req);
+}
+
+Server::Ticket Server::resolved(ReplyStatus status) {
+  auto req = std::make_shared<detail::Request>();
+  req->enqueued = Clock::now();
+  Reply r;
+  r.status = status;
+  req->fulfill(std::move(r));
+  return Ticket(std::move(req));
+}
+
+std::int64_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return static_cast<std::int64_t>(impl_->queue.size());
 }
 
 Reply Server::classify(Tensor features) {
@@ -415,10 +430,7 @@ std::vector<double> poisson_arrivals_us(std::int64_t n, double rate_rps,
   return out;
 }
 
-namespace {
-
-/// Nearest-rank percentile in milliseconds over nanosecond samples.
-double percentile_ms(std::vector<double>& v, double q) {
+double percentile_ms(std::vector<double> v, double q) {
   if (v.empty()) return 0.0;
   const auto idx = static_cast<std::size_t>(
       std::min<double>(static_cast<double>(v.size() - 1),
@@ -427,8 +439,6 @@ double percentile_ms(std::vector<double>& v, double q) {
                    v.end());
   return v[idx] / 1e6;
 }
-
-}  // namespace
 
 TrafficReport run_open_loop(Server& server, std::span<const Tensor> requests,
                             const TrafficOptions& opt) {

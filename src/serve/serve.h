@@ -112,6 +112,7 @@ struct Reply {
   Tensor logits;                ///< (classes), Ok only
   std::int64_t label = -1;      ///< argmax of logits, Ok only
   std::int64_t batch_size = 0;  ///< size of the micro-batch it rode in
+  std::int64_t shard = -1;      ///< serving shard (ServeOptions::shard)
   double queue_ns = 0.0;        ///< admission -> batch assembly
   double total_ns = 0.0;        ///< admission -> reply fulfilled
   StageBreakdown stages;        ///< serve-path stage timing, Ok only
@@ -133,6 +134,15 @@ struct ServeOptions {
   /// Pool the scheduler routes the backend's parallel work through
   /// (nullptr: the NVM_THREADS-sized global pool).
   ThreadPool* pool = nullptr;
+  /// Metric/telemetry prefix for this server's series ("serve" ->
+  /// serve/requests, serve/batch_size, ...). The cluster sets
+  /// "serve/shard<k>" so each shard publishes its own family; servers
+  /// sharing a prefix alias the same metrics and tally additively (the
+  /// queue-depth gauge aggregates across a shard's per-model servers).
+  /// Must be a valid metrics name (lowercase path components).
+  std::string metric_scope = "serve";
+  /// Shard identity stamped into every Reply (-1: standalone server).
+  std::int64_t shard = -1;
 
   /// Defaults above, overridden by the NVM_SERVE_* environment variables.
   static ServeOptions from_env();
@@ -178,6 +188,15 @@ class Server {
   /// feature_dim() values (any shape). Shed/Shutdown rejections resolve
   /// the ticket immediately.
   Ticket submit(Tensor features);
+
+  /// Ticket already resolved to a terminal `status` without touching any
+  /// server — for layers above (the cluster router) that reject a request
+  /// before it reaches a shard but still owe the caller a uniform handle.
+  static Ticket resolved(ReplyStatus status);
+
+  /// Requests admitted but not yet taken into a micro-batch (the value
+  /// behind the <scope>/queue_depth gauge the least-loaded router reads).
+  std::int64_t queue_depth() const;
 
   /// Synchronous convenience: submit() + get().
   Reply classify(Tensor features);
@@ -229,5 +248,9 @@ struct TrafficReport {
 /// without draining the server).
 TrafficReport run_open_loop(Server& server, std::span<const Tensor> requests,
                             const TrafficOptions& opt);
+
+/// Nearest-rank q-percentile in milliseconds over nanosecond samples
+/// (exact, the estimator behind TrafficReport percentiles; 0 when empty).
+double percentile_ms(std::vector<double> samples_ns, double q);
 
 }  // namespace nvm::serve

@@ -230,7 +230,9 @@ class GeniexProgrammed final : public ProgrammedXbar {
     // Feature-major block (feature f of sample k at ft[f*n + k]) feeding
     // the batched MLP forward. Denominators are the exact float
     // expressions of fill_features, applied per sample, so each sample's
-    // feature values and prediction match the scalar path bit-for-bit.
+    // feature values match the looped path bit-for-bit — and
+    // predict_block is batch-width-invariant (mlp.h), so the prediction
+    // does too under whichever simd tier is active.
     std::span<float> ft =
         ws.floats(9, static_cast<std::size_t>(kGeniexFeatureCount * n));
     std::span<float> rel = ws.floats(10, static_cast<std::size_t>(n));

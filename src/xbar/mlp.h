@@ -42,13 +42,21 @@ class MlpRegressor {
   std::int64_t in_dim() const { return in_dim_; }
   std::int64_t hidden() const { return hidden_; }
 
-  /// Predicts a single value from `in_dim` features.
+  /// Predicts a single value from `in_dim` features. Delegates to
+  /// predict_block with n = 1, so single and batched predictions are one
+  /// code path (bit-identical by construction).
   float predict(std::span<const float> features) const;
 
   /// Batched predict over `n` samples laid out FEATURE-MAJOR:
   /// features_t[i * n + s] is feature i of sample s. Writes one prediction
-  /// per sample into out[0..n). Bit-identical to calling predict() per
-  /// sample (simd kernels keep each sample's op order unchanged).
+  /// per sample into out[0..n). Runs on the widest usable nvm::simd gemm
+  /// tier; samples are staged into a 16-column-padded block so every
+  /// sample's accumulation takes the vector FMA body regardless of n —
+  /// each out[s] is a pure function of sample s's features, independent of
+  /// batch width (the GENIEx batch-invariance requirement). Across simd
+  /// tiers the result carries the gemm kernels' [~ulp] parity contract
+  /// (vector tiers agree bit-for-bit; the scalar tier differs by a few
+  /// ULP because its multiply-adds are unfused).
   void predict_block(const float* features_t, std::int64_t n,
                      float* out) const;
 

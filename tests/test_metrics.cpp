@@ -93,6 +93,62 @@ TEST(Metrics, HistogramBoundsMismatchThrows) {
   EXPECT_THROW(metrics::Histogram({}), CheckError);          // empty
 }
 
+TEST(Metrics, GaugeAddAggregatesAcrossWriters) {
+  metrics::Gauge& g = metrics::gauge("test/gauge_add");
+  g.reset();
+  g.add(3.0);
+  g.add(2.5);
+  g.add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.set(10.0);  // set still overwrites
+  EXPECT_DOUBLE_EQ(g.value(), 10.0);
+}
+
+TEST(Metrics, SanitizeNameComponent) {
+  EXPECT_EQ(metrics::sanitize_name_component("SCIFAR10-v2"), "scifar10_v2");
+  EXPECT_EQ(metrics::sanitize_name_component("a/b c"), "a_b_c");  // no '/'
+  EXPECT_EQ(metrics::sanitize_name_component("ok_name.v1"), "ok_name.v1");
+  EXPECT_EQ(metrics::sanitize_name_component(""), "_");
+  // Sanitized output is always registrable as a component.
+  metrics::counter("test/" +
+                   metrics::sanitize_name_component("Tenant A (prod)"));
+}
+
+TEST(Metrics, ScopeResolvesPrefixedNamesOnce) {
+  metrics::Scope scope("test/scope0");
+  EXPECT_EQ(scope.full_name("hits"), "test/scope0/hits");
+  metrics::Counter& a = scope.counter("hits");
+  metrics::Counter& b = scope.counter("hits");       // cached
+  metrics::Counter& c = metrics::counter("test/scope0/hits");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(&a, &c);  // same registry entry as the free function
+
+  scope.gauge("level").set(2.0);
+  EXPECT_DOUBLE_EQ(metrics::gauge("test/scope0/level").value(), 2.0);
+  scope.histogram("lat_ns").observe(5.0);
+  EXPECT_GE(metrics::histogram("test/scope0/lat_ns").count(), 1u);
+
+  EXPECT_THROW(metrics::Scope("Bad/Prefix"), CheckError);
+}
+
+TEST(Metrics, TwoScopesSamePrefixAliasWithoutThrowing) {
+  // The duplicate-registration footgun: two shards loading the same model
+  // build the same series twice. Scopes must alias, tally additively, and
+  // never throw — including histograms with explicit (equal) bounds.
+  metrics::Scope first("test/shardx");
+  metrics::Scope second("test/shardx");
+  first.counter("served").add(2);
+  second.counter("served").add(3);
+  EXPECT_EQ(&first.counter("served"), &second.counter("served"));
+  EXPECT_GE(first.counter("served").value(), 5u);
+
+  first.histogram("sizes", {1.0, 4.0});
+  second.histogram("sizes", {1.0, 4.0});  // same bounds: aliases
+  // Kind mismatches still throw (aliasing never papers over a real clash).
+  first.counter("kind_clash");
+  EXPECT_THROW(second.histogram("kind_clash"), CheckError);
+}
+
 TEST(Metrics, CountersExactUnderConcurrentAdds) {
   metrics::Counter& c = metrics::counter("test/concurrent_adds");
   c.reset();
