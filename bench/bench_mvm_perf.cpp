@@ -23,6 +23,7 @@
 #include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "core/report.h"
+#include "puma/plan.h"
 #include "puma/tiled_mvm.h"
 #include "tensor/ops.h"
 #include "xbar/circuit_solver.h"
@@ -249,6 +250,44 @@ BENCHMARK(BM_TiledMatmulThreads)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Plan A/B: the serve-shaped fast-noise batched matmul ((16 x 128)
+// classifier head, 32-column block) with the execution plan off (Arg 0,
+// the per-call interpreter) and on (Arg 1, fused chunk kernels + pooled
+// workspaces). Results are bit-identical; the time ratio is the fusion
+// win. Per-arm ms land in the run manifest as
+// bench/plan/tiled_matmul_{interp,plan}_ms and the ratio as
+// bench/plan/tiled_matmul_speedup — the perf gate holds the ratio >= 1.2.
+void BM_TiledMatmulPlan(benchmark::State& state) {
+  Rng rng(10);
+  Tensor w = Tensor::normal({16, 128}, 0, 0.1f, rng);
+  Tensor x({128, 32});
+  for (auto& v : x.data())
+    v = rng.bernoulli(0.5) ? 0.0f : static_cast<float>(rng.uniform(0, 1));
+  auto model =
+      std::make_shared<xbar::FastNoiseModel>(xbar::xbar_32x32_100k());
+  puma::TiledMatrix tiled(w, model, puma::HwConfig{});
+  const bool use_plan = state.range(0) != 0;
+  puma::ScopedPlanForTests gate(use_plan);
+  (void)tiled.plan();  // compile outside the timed region
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) benchmark::DoNotOptimize(tiled.matmul(x, 1.0f));
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  if (state.iterations() == 0) return;
+  const double ms = dt.count() * 1e3 / static_cast<double>(state.iterations());
+  metrics::gauge(use_plan ? "bench/plan/tiled_matmul_plan_ms"
+                          : "bench/plan/tiled_matmul_interp_ms")
+      .set(ms);
+  if (use_plan) {
+    // Arg 0 registered first, so the interpreter gauge is already set.
+    const double interp =
+        metrics::gauge("bench/plan/tiled_matmul_interp_ms").value();
+    if (ms > 0.0 && interp > 0.0)
+      metrics::gauge("bench/plan/tiled_matmul_speedup").set(interp / ms);
+  }
+}
+BENCHMARK(BM_TiledMatmulPlan)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // Warm-start A/B: the same circuit-solver tiled matmul with stream
 // warm-starting off (Arg 0, the pre-streaming behavior) and on (Arg 1).

@@ -8,7 +8,10 @@
 // for the batching scheduler to pay for itself). Labels are cross-checked
 // across every config: the determinism contract says batch composition
 // never changes a reply.
+#include <chrono>
+
 #include "bench_util.h"
+#include "puma/plan.h"
 #include "serve/serve.h"
 #include "xbar/fast_noise.h"
 
@@ -93,6 +96,35 @@ int main(int argc, char** argv) {
   table.print("Micro-batching service, fast-noise " + cfg.name + " backend, " +
               std::to_string(classes) + "x" + std::to_string(feat) +
               " classifier, " + std::to_string(n) + " requests");
+
+  // Plan A/B on the serve matmul stage: the same batched logits_block the
+  // scheduler issues per micro-batch, with the execution plan off (the
+  // interpreter) and on (fused chunk kernels). Bit-identical outputs; the
+  // time ratio is the fused-path overhead reduction the perf gate holds
+  // at >= 1.2x (plan_matmul_speedup).
+  {
+    Rng brng(derive_seed(1, 3));
+    Tensor xb({feat, 32});
+    for (auto& v : xb.data()) v = static_cast<float>(brng.uniform());
+    const int reps = static_cast<int>(scaled(60, 400));
+    double ms[2] = {0.0, 0.0};
+    for (int arm = 0; arm < 2; ++arm) {
+      puma::ScopedPlanForTests gate(arm == 1);
+      (void)backend.tiled().plan();  // compile outside the timed region
+      (void)backend.logits_block(xb);  // warm up
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < reps; ++r) (void)backend.logits_block(xb);
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      ms[arm] = dt.count() * 1e3 / reps;
+    }
+    const double plan_speedup = ms[1] > 0.0 ? ms[0] / ms[1] : 0.0;
+    std::printf("serve matmul stage: interp %.3f ms, plan %.3f ms (%.2fx)\n",
+                ms[0], ms[1], plan_speedup);
+    manifest.add_result("plan_matmul_interp_ms", ms[0]);
+    manifest.add_result("plan_matmul_plan_ms", ms[1]);
+    manifest.add_result("plan_matmul_speedup", plan_speedup);
+  }
 
   const double speedup = sat_rps[0] > 0.0 ? sat_rps[1] / sat_rps[0] : 0.0;
   std::printf("saturation throughput: batch1 %.0f rps, batch32 %.0f rps "

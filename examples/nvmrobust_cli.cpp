@@ -90,7 +90,18 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
 double flag_or(const std::map<std::string, std::string>& flags,
                const std::string& key, double fallback) {
   auto it = flags.find(key);
-  return it == flags.end() ? fallback : std::stod(it->second);
+  if (it == flags.end()) return fallback;
+  double v = 0.0;
+  // Strict parse (strtod full-consume, ERANGE rejected): a typo like
+  // "--eps 0.1x" warns and falls back instead of half-parsing or throwing
+  // an uncaught std::invalid_argument out of main.
+  if (!parse_double(it->second.c_str(), &v)) {
+    std::fprintf(stderr,
+                 "warning: --%s '%s' is not a valid number; using %g\n",
+                 key.c_str(), it->second.c_str(), fallback);
+    return fallback;
+  }
+  return v;
 }
 
 std::string flag_or(const std::map<std::string, std::string>& flags,
@@ -240,13 +251,23 @@ int cmd_attack(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-/// "0,0.01,0.05" -> {0, 0.01, 0.05}.
+/// "0,0.01,0.05" -> {0, 0.01, 0.05}. Malformed items are skipped with a
+/// warning (empty items from trailing commas are silently ignored) so a
+/// bad CSV degrades to the parseable subset instead of crashing the sweep.
 std::vector<double> parse_list(const std::string& s) {
   std::vector<double> out;
   std::stringstream ss(s);
   std::string item;
-  while (std::getline(ss, item, ','))
-    if (!item.empty()) out.push_back(std::stod(item));
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    double v = 0.0;
+    if (parse_double(item.c_str(), &v))
+      out.push_back(v);
+    else
+      std::fprintf(stderr,
+                   "warning: skipping non-numeric list item '%s'\n",
+                   item.c_str());
+  }
   return out;
 }
 
@@ -309,9 +330,16 @@ double fleet_param(const std::map<std::string, std::string>& flags,
                    const std::string& flag, const char* env_name,
                    double fallback) {
   auto it = flags.find(flag);
-  if (it != flags.end()) return std::stod(it->second);
-  const std::string env = env_str(env_name, "");
-  return env.empty() ? fallback : std::stod(env);
+  if (it != flags.end()) {
+    double v = 0.0;
+    if (parse_double(it->second.c_str(), &v)) return v;
+    std::fprintf(stderr,
+                 "warning: --%s '%s' is not a valid number; trying %s\n",
+                 flag.c_str(), it->second.c_str(), env_name);
+  }
+  // env_double applies the same strict-parse contract (warn + fallback on
+  // e.g. NVM_FLEET_BUDGET=abc) instead of stod throwing out of main.
+  return env_double(env_name, fallback);
 }
 
 int cmd_fleet_sim(const std::map<std::string, std::string>& flags) {
@@ -584,6 +612,15 @@ int cmd_serve(const std::map<std::string, std::string>& flags) {
   manifest.add_result("queue_p50_ms", rep.queue_p50_ms);
   manifest.add_result("queue_p99_ms", rep.queue_p99_ms);
   manifest.add_result("mean_batch", rep.mean_batch);
+  // Order-sensitive label checksum (FNV-1a over index+label), so scripted
+  // A/B runs (e.g. NVM_PLAN=0 vs 1 in check.sh) can assert bit-identical
+  // classifications from the manifest alone. Kept in double-exact range.
+  std::uint64_t lsum = 1469598103934665603ull;
+  for (std::size_t i = 0; i < rep.labels.size(); ++i) {
+    lsum ^= static_cast<std::uint64_t>(rep.labels[i] + 2) * 31 + i;
+    lsum *= 1099511628211ull;
+  }
+  manifest.add_result("labels_checksum", static_cast<double>(lsum >> 12));
   return rep.errors == 0 ? 0 : 1;
 }
 
@@ -774,7 +811,10 @@ void usage() {
       "NVM_FLEET_SEED / NVM_FLEET_POLICY\n"
       "every command also accepts --metrics-out PATH (or NVM_METRICS_OUT)\n"
       "to write a JSON run manifest, and --trace-events PATH (or\n"
-      "NVM_TRACE_EVENTS) to write a chrome://tracing / Perfetto timeline\n");
+      "NVM_TRACE_EVENTS) to write a chrome://tracing / Perfetto timeline\n"
+      "NVM_PLAN=0 disables the fused execution plans (the lazily-compiled\n"
+      "per-matrix schedules, cached under NVMROBUST_CACHE_DIR) and runs\n"
+      "the bit-identical op-by-op interpreter instead\n");
 }
 
 }  // namespace

@@ -38,6 +38,33 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) {
   return static_cast<std::int64_t>(v);
 }
 
+bool parse_double(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  // Same reject-don't-half-accept policy as env_int: ERANGE (overflow to
+  // +-HUGE_VAL or underflow toward 0) and trailing non-whitespace ("0.1x")
+  // are malformed, not approximately right.
+  if (end == text || errno == ERANGE) return false;
+  while (std::isspace(static_cast<unsigned char>(*end))) ++end;
+  if (*end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* env = std::getenv(name.c_str());
+  if (env == nullptr || *env == '\0') return fallback;
+  double v = 0.0;
+  if (!parse_double(env, &v)) {
+    NVM_LOG(Warn) << name << "='" << env
+                  << "' is not a valid number; using default " << fallback;
+    return fallback;
+  }
+  return v;
+}
+
 std::string env_str(const std::string& name, const std::string& fallback) {
   const char* env = std::getenv(name.c_str());
   if (env == nullptr || *env == '\0') return fallback;

@@ -23,6 +23,18 @@ std::int64_t scaled(std::int64_t quick, std::int64_t full);
 /// silently truncated or clamped.
 std::int64_t env_int(const std::string& name, std::int64_t fallback);
 
+/// Strict double parse shared by env_double and the CLI flag parsers: the
+/// whole value must parse (modulo surrounding whitespace), ERANGE
+/// overflow/underflow is rejected, and NaN/Inf spellings are accepted only
+/// because strtod defines them — malformed input returns false and leaves
+/// *out untouched.
+bool parse_double(const char* text, double* out);
+
+/// Reads a floating-point env override with the same strict-parse contract
+/// as env_int: unset/empty/malformed values fall back with one Warn log,
+/// never a silent half-parse.
+double env_double(const std::string& name, double fallback);
+
 /// Reads a string env override, falling back to `fallback` when the
 /// variable is unset or empty.
 std::string env_str(const std::string& name, const std::string& fallback);

@@ -584,4 +584,36 @@ std::span<std::int32_t> Workspace::i32s(int slot, std::size_t n) {
   return acquire(i32_[slot], n);
 }
 
+WorkspacePool::Lease::~Lease() {
+  if (pool_ != nullptr && ws_ != nullptr) pool_->release(std::move(ws_));
+}
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  static metrics::Counter& leases =
+      metrics::counter("simd/workspace/pool_leases");
+  static metrics::Counter& grows =
+      metrics::counter("simd/workspace/pool_grows");
+  leases.add();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<Workspace> ws = std::move(free_.back());
+      free_.pop_back();
+      return {this, std::move(ws)};
+    }
+  }
+  grows.add();
+  return {this, std::make_unique<Workspace>()};
+}
+
+void WorkspacePool::release(std::unique_ptr<Workspace> ws) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(ws));
+}
+
+WorkspacePool& shared_workspace_pool() {
+  static WorkspacePool* pool = new WorkspacePool();  // never destructed
+  return *pool;
+}
+
 }  // namespace nvm::simd

@@ -38,6 +38,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -217,5 +219,45 @@ class Workspace {
   std::vector<std::int16_t> i16_[kSlots];
   std::vector<std::int32_t> i32_[kSlots];
 };
+
+/// Thread-safe pool of Workspaces for planned execution. Where the
+/// thread_local idiom pins one workspace per (thread, call site) forever,
+/// a pool bounds scratch to the number of CONCURRENT users and lets
+/// warmed buffers migrate between call sites (an execution-plan task and
+/// the GENIEx MLP forward reuse the same allocations). acquire() hands
+/// out a warm workspace when one is free and grows the pool otherwise;
+/// the lease returns it on destruction.
+class WorkspacePool {
+ public:
+  class Lease {
+   public:
+    Lease(WorkspacePool* pool, std::unique_ptr<Workspace> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    ~Lease();
+    Lease(Lease&&) = default;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    Workspace& get() { return *ws_; }
+
+   private:
+    WorkspacePool* pool_;
+    std::unique_ptr<Workspace> ws_;
+  };
+
+  Lease acquire();
+
+ private:
+  friend class Lease;
+  void release(std::unique_ptr<Workspace> ws);
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Workspace>> free_;
+};
+
+/// Process-wide pool shared by the puma execution plans and the blocked
+/// model forwards (MlpRegressor::predict_block).
+WorkspacePool& shared_workspace_pool();
 
 }  // namespace nvm::simd

@@ -1,0 +1,202 @@
+#include "nn/ir.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/metrics.h"
+#include "nn/network.h"
+
+namespace nvm::nn::ir {
+
+namespace {
+
+/// 64-bit mix (splitmix64 finalizer) — cheap, stable across platforms.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  return h;
+}
+
+std::uint64_t node_hash(Op op, const std::vector<std::int64_t>& attrs,
+                        const std::vector<std::uint64_t>& input_hashes) {
+  std::uint64_t h = mix(0x6e766d5f6972ull /* "nvm_ir" */,
+                        static_cast<std::uint64_t>(op));
+  for (const std::int64_t a : attrs)
+    h = mix(h, static_cast<std::uint64_t>(a));
+  for (const std::uint64_t ih : input_hashes) h = mix(h, ih);
+  return h;
+}
+
+std::optional<Op> op_for_layer_name(const std::string& name) {
+  if (name == "conv2d") return Op::kConv2d;
+  if (name == "batchnorm2d") return Op::kBatchNorm2d;
+  if (name == "relu") return Op::kRelu;
+  if (name == "avg_pool2d") return Op::kAvgPool2d;
+  if (name == "global_avg_pool") return Op::kGlobalAvgPool;
+  if (name == "flatten") return Op::kFlatten;
+  if (name == "linear") return Op::kLinear;
+  if (name == "residual_block") return Op::kResidualBlock;
+  return std::nullopt;
+}
+
+/// Attribute vector of a step: every parameter's rank and dims, in
+/// params() order. Two layers with identical parameter geometry intern to
+/// the same node shape-wise (values are runtime state, not structure).
+std::vector<std::int64_t> layer_attrs(Layer& l) {
+  std::vector<std::int64_t> attrs;
+  for (Param* p : l.params()) {
+    const Shape& s = p->value.shape();
+    attrs.push_back(static_cast<std::int64_t>(s.size()));
+    for (const std::int64_t d : s) attrs.push_back(d);
+  }
+  return attrs;
+}
+
+/// Flattens the layer tree into linear steps: Sequentials recurse,
+/// everything else (including ResidualBlock) is one step. Returns false
+/// with `reason` set on the first non-capturable layer.
+bool flatten_steps(Layer& l, const std::string& scope,
+                   std::vector<std::pair<Layer*, std::string>>* steps,
+                   std::string* reason) {
+  if (l.name() == "sequential") {
+    if (l.has_eval_hook()) {
+      *reason = scope + ": sequential carries an eval hook";
+      return false;
+    }
+    std::vector<Layer*> children = l.children();
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      std::ostringstream os;
+      os << scope << "/" << i;
+      if (!flatten_steps(*children[i], os.str(), steps, reason)) return false;
+    }
+    return true;
+  }
+  if (!op_for_layer_name(l.name()).has_value()) {
+    *reason = scope + ": layer '" + l.name() + "' has no IR opcode";
+    return false;
+  }
+  steps->emplace_back(&l, scope + "/" + l.name());
+  return true;
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kInput: return "input";
+    case Op::kConv2d: return "conv2d";
+    case Op::kBatchNorm2d: return "batchnorm2d";
+    case Op::kRelu: return "relu";
+    case Op::kAvgPool2d: return "avg_pool2d";
+    case Op::kGlobalAvgPool: return "global_avg_pool";
+    case Op::kFlatten: return "flatten";
+    case Op::kLinear: return "linear";
+    case Op::kResidualBlock: return "residual_block";
+    case Op::kOutput: return "output";
+    case Op::kQuantize: return "quantize";
+    case Op::kDac: return "dac";
+    case Op::kTileMvm: return "tile_mvm";
+    case Op::kAdcShiftAdd: return "adc_shift_add";
+    case Op::kFusedMvm: return "fused_mvm";
+  }
+  return "?";
+}
+
+std::int64_t Graph::intern(Op op, std::vector<std::int64_t> inputs,
+                           std::vector<std::int64_t> attrs,
+                           std::string scope) {
+  static metrics::Counter& m_nodes = metrics::counter("ir/nodes");
+  static metrics::Counter& m_consed = metrics::counter("ir/consed");
+  std::vector<std::uint64_t> input_hashes;
+  input_hashes.reserve(inputs.size());
+  for (const std::int64_t id : inputs) {
+    NVM_CHECK(id >= 0 && id < size(), "ir: bad input node id " << id);
+    input_hashes.push_back(node(id).hash);
+  }
+  const std::uint64_t h = node_hash(op, attrs, input_hashes);
+  // Hash-consing: an existing node with equal structure is THE node (the
+  // bucket list handles the astronomically-unlikely hash collision).
+  if (auto it = interned_.find(h); it != interned_.end()) {
+    for (const std::int64_t id : it->second) {
+      const Node& cand = node(id);
+      if (cand.op == op && cand.inputs == inputs && cand.attrs == attrs) {
+        m_consed.add();
+        return id;
+      }
+    }
+  }
+  const std::int64_t id = size();
+  nodes_.push_back(Node{op, std::move(inputs), std::move(attrs),
+                        std::move(scope), h});
+  shapes_.emplace_back();
+  interned_[h].push_back(id);
+  m_nodes.add();
+  return id;
+}
+
+void Graph::set_shape(std::int64_t id, Shape shape) {
+  shapes_.at(static_cast<std::size_t>(id)) = std::move(shape);
+}
+
+const Shape* Graph::shape(std::int64_t id) const {
+  const std::optional<Shape>& s = shapes_.at(static_cast<std::size_t>(id));
+  return s.has_value() ? &*s : nullptr;
+}
+
+std::uint64_t Graph::graph_hash(std::uint64_t seed) const {
+  std::uint64_t h = mix(seed, 0x706c616eull /* "plan" */);
+  for (const Node& n : nodes_) h = mix(h, n.hash);
+  return h;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  for (std::int64_t id = 0; id < size(); ++id) {
+    const Node& n = node(id);
+    os << "%" << id << " = " << op_name(n.op) << "(";
+    for (std::size_t i = 0; i < n.inputs.size(); ++i)
+      os << (i ? ", " : "") << "%" << n.inputs[i];
+    os << ")";
+    if (const Shape* s = shape(id)) os << " : " << shape_str(*s);
+    if (!n.scope.empty()) os << "  # " << n.scope;
+    os << "\n";
+  }
+  return os.str();
+}
+
+Capture capture(Network& net) {
+  static metrics::Counter& m_captures = metrics::counter("ir/captures");
+  static metrics::Counter& m_failed = metrics::counter("ir/captures_failed");
+  Capture cap;
+  std::vector<std::pair<Layer*, std::string>> steps;
+  if (!flatten_steps(net.root(), "root", &steps, &cap.reason)) {
+    m_failed.add();
+    return cap;
+  }
+  cap.input_node = cap.graph.intern(Op::kInput, {}, {}, "input");
+  std::int64_t prev = cap.input_node;
+  for (auto& [layer, scope] : steps) {
+    if (layer->has_eval_hook()) {
+      // An eval hook is an arbitrary Tensor->Tensor function attached at
+      // runtime (activation-space defenses); the IR cannot represent it,
+      // so the whole graph stays on the eager interpreter.
+      cap = Capture{};
+      cap.reason = scope + ": layer carries an eval hook";
+      m_failed.add();
+      return cap;
+    }
+    const Op op = *op_for_layer_name(layer->name());
+    prev = cap.graph.intern(op, {prev}, layer_attrs(*layer), scope);
+    cap.steps.push_back(layer);
+    cap.step_nodes.push_back(prev);
+  }
+  cap.output_node = cap.graph.intern(
+      Op::kOutput, {prev}, {net.num_classes()}, "output");
+  cap.ok = true;
+  m_captures.add();
+  return cap;
+}
+
+}  // namespace nvm::nn::ir

@@ -1,0 +1,119 @@
+// Lazy tensor IR for inference-graph capture (DESIGN.md §17).
+//
+// The nn:: layer tree is an eager interpreter: every forward() walks the
+// tree op-by-op. For whole-graph work — linearized execution plans, fusion
+// decisions, plan caching — the stack needs the graph as DATA. This module
+// captures it once: a walk over the Network's layer tree produces a small
+// hash-consed IR (structurally identical subgraphs intern to the same
+// node, in the style of pytorch_xla's ir.cpp), with scoped op names for
+// diagnostics, a lazily-filled shape cache, and a deterministic
+// whole-graph hash that keys the execution-plan file cache.
+//
+// The IR is intentionally minimal: nodes carry an opcode, input edges, and
+// integer attributes (parameter shapes, pool windows). It describes the
+// Eval-mode dataflow only — training, gradients, and stochastic layers
+// stay on the eager interpreter.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace nvm::nn {
+
+class Layer;
+class Network;
+
+namespace ir {
+
+enum class Op : std::uint8_t {
+  kInput = 0,
+  kConv2d,
+  kBatchNorm2d,
+  kRelu,
+  kAvgPool2d,
+  kGlobalAvgPool,
+  kFlatten,
+  kLinear,
+  kResidualBlock,  ///< kept opaque: its skip-add topology is one plan step
+  kOutput,
+  // Lowering ops: the puma plan compiler (puma/plan.cpp) expresses the
+  // tiled-GEMM pipeline in the same IR so plans hash and cache uniformly.
+  kQuantize,     ///< activation quantization to input_bits
+  kDac,          ///< bit-stream chunk extraction to DAC codes
+  kTileMvm,      ///< one programmed tile slot's streamed crossbar passes
+  kAdcShiftAdd,  ///< ADC + baseline subtract + shift-add reduction
+  kFusedMvm,     ///< quantize→DAC→tile-MVM→ADC chain as one fused kernel
+};
+
+const char* op_name(Op op);
+
+/// One hash-consed IR node. `hash` is structural — opcode, attributes, and
+/// input HASHES (not ids) folded together — so equal subtrees hash equal
+/// regardless of interning order; `scope` is diagnostic metadata and
+/// deliberately excluded from the hash and from interning equality.
+struct Node {
+  Op op = Op::kInput;
+  std::vector<std::int64_t> inputs;  ///< node ids
+  std::vector<std::int64_t> attrs;   ///< op-specific (param dims, windows)
+  std::string scope;                 ///< e.g. "root/4/residual_block"
+  std::uint64_t hash = 0;
+};
+
+/// Append-only graph with hash-consing and a shape cache.
+class Graph {
+ public:
+  /// Interns a node: structurally identical (op, inputs, attrs) nodes
+  /// return the existing id instead of growing the graph.
+  std::int64_t intern(Op op, std::vector<std::int64_t> inputs,
+                      std::vector<std::int64_t> attrs, std::string scope);
+
+  const Node& node(std::int64_t id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  std::int64_t size() const { return static_cast<std::int64_t>(nodes_.size()); }
+
+  /// Shape cache: filled lazily (first planned execution records the
+  /// shapes it observes); a node without a cached shape returns nullptr.
+  void set_shape(std::int64_t id, Shape shape);
+  const Shape* shape(std::int64_t id) const;
+
+  /// Deterministic whole-graph hash: node hashes folded in id order over a
+  /// seed. Identical architectures produce identical hashes across runs
+  /// (no pointers, no iteration-order dependence), so this keys the
+  /// execution-plan file cache.
+  std::uint64_t graph_hash(std::uint64_t seed = 0) const;
+
+  /// Human-readable one-node-per-line dump (tests, debugging).
+  std::string to_string() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::optional<Shape>> shapes_;
+  std::unordered_map<std::uint64_t, std::vector<std::int64_t>> interned_;
+};
+
+/// Result of capturing a Network's Eval-mode dataflow. When `ok` is false
+/// (a layer the IR does not model, or an eval hook whose behaviour is not
+/// graph-representable), `reason` says why and callers fall back to the
+/// eager interpreter.
+struct Capture {
+  Graph graph;
+  std::vector<Layer*> steps;            ///< linear execution order
+  std::vector<std::int64_t> step_nodes; ///< IR node id per step
+  std::int64_t input_node = -1;
+  std::int64_t output_node = -1;
+  bool ok = false;
+  std::string reason;
+};
+
+/// Captures `net`'s layer walk into an IR graph: nested Sequentials are
+/// flattened into the linear step list, ResidualBlocks stay single opaque
+/// steps. Pure inspection — no forward pass runs and the network is not
+/// mutated.
+Capture capture(Network& net);
+
+}  // namespace ir
+}  // namespace nvm::nn

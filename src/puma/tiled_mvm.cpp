@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "puma/bit_slicing.h"
+#include "puma/plan.h"
 #include "puma/quantize.h"
 
 namespace nvm::puma {
@@ -150,11 +151,24 @@ TiledMatrix::TiledMatrix(const Tensor& w,
   programmed.add(static_cast<std::uint64_t>(programmed_count_));
 }
 
+TiledMatrix::~TiledMatrix() = default;
+
 std::int64_t TiledMatrix::total_tile_slots() const {
   return row_tiles_ * col_tiles_ * 2 * hw_.weight_slices();
 }
 
+const MvmPlan* TiledMatrix::plan() const {
+  std::call_once(plan_once_, [&] { plan_ = MvmPlan::compile(*this); });
+  return plan_.get();
+}
+
 Tensor TiledMatrix::matmul(const Tensor& x, float input_scale) const {
+  // Plan route (DESIGN.md §17): compile once, then run the fused schedule.
+  // NVM_PLAN=0 restores the interpreter below, the bit-identity reference.
+  if (plan_enabled()) {
+    if (const MvmPlan* p = plan(); p != nullptr)
+      return p->execute(*this, x, input_scale);
+  }
   NVM_TRACE_SPAN("puma/tiled/matmul");
   static metrics::Counter& m_matmuls = metrics::counter("puma/tiled/matmuls");
   m_matmuls.add();

@@ -25,11 +25,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "xbar/mvm_model.h"
 
 namespace nvm::puma {
+
+class MvmPlan;
 
 /// True when the integer bit-slice fast path (DESIGN.md §13) is enabled:
 /// NVM_INT_PATH env (default 1), overridable per-scope in tests. Even when
@@ -88,12 +91,20 @@ class TiledMatrix {
   /// Programs `w` (M x K) onto tiles of `model`'s crossbar geometry.
   TiledMatrix(const Tensor& w, std::shared_ptr<const xbar::MvmModel> model,
               HwConfig hw);
+  ~TiledMatrix();
 
   /// Approximates W * X. `x` is (K, N), elementwise >= 0. `input_scale`
   /// fixes the activation quantization range; pass <= 0 for dynamic
   /// (per-call max) scaling. Tile evaluations run on the current
   /// nvm::ThreadPool; safe to call concurrently (tiles are immutable).
+  /// With NVM_PLAN enabled (the default) the call runs through a lazily
+  /// compiled, fused MvmPlan — bit-identical to the interpreter body,
+  /// which NVM_PLAN=0 restores.
   Tensor matmul(const Tensor& x, float input_scale = 0.0f) const;
+
+  /// The compiled plan, building it on first use (test/bench hook; matmul
+  /// calls this internally when the plan gate is on).
+  const MvmPlan* plan() const;
 
   std::int64_t rows() const { return m_; }
   std::int64_t cols() const { return k_; }
@@ -117,6 +128,11 @@ class TiledMatrix {
   /// int_gates_ok_ (the fully-digital int path); same indexing and skip
   /// pattern as tiles_.
   std::vector<std::vector<std::int8_t>> wchunks_;
+  /// Lazily compiled execution plan (immutable once built; call_once
+  /// keeps concurrent matmuls race-free).
+  friend class MvmPlan;
+  mutable std::once_flag plan_once_;
+  mutable std::unique_ptr<MvmPlan> plan_;
 };
 
 }  // namespace nvm::puma

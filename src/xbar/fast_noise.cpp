@@ -12,6 +12,114 @@ namespace nvm::xbar {
 
 namespace {
 
+/// Compiled chunk kernel for the fast-noise model: everything in
+/// mvm_chunks_active that does not depend on the input — the per-cell
+/// attenuation divide and the per-(cell, code) contribution tables for
+/// BOTH sinhc branches, plus the per-cell branch cutoff — is hoisted to
+/// compile time, leaving only the code gather per sample at run time.
+///
+/// Two tables per cell are required for bit identity: the interpreter
+/// picks its branch per call from the row's max code (vmax = double(
+/// v_unit * float(cmax)) with its own rounding), and near the 1.2
+/// threshold the poly and exact forms differ in the last ULPs, so the
+/// kernel must reproduce the same branch choice, not just "a" sinhc.
+/// float(v_unit * float(c)) is monotone in c, so the branch condition
+/// fails first at a well-defined cutoff code per cell; at run time the
+/// row's cmax is compared against it. Table entries themselves are
+/// cmax-independent (each is a function of the code alone), and both
+/// builders below run the interpreter's exact op sequence.
+class FastNoiseFusedKernel final : public FusedChunkKernel {
+ public:
+  FastNoiseFusedKernel(const CrossbarConfig& cfg, const Tensor& g,
+                       const std::vector<double>& growsum,
+                       const std::vector<double>& col_atten, float v_unit,
+                       int max_code)
+      : rows_(cfg.rows), cols_(cfg.cols), v_unit_(v_unit),
+        codes_(max_code + 1) {
+    const double b = cfg.device_nonlin;
+    const float* pgf = g.raw();
+    tabs_.resize(static_cast<std::size_t>(cols_ * rows_ * 2 * codes_));
+    cut_.resize(static_cast<std::size_t>(cols_ * rows_));
+    for (std::int64_t j = 0; j < cols_; ++j) {
+      const double r_row_base = cfg.r_source + cfg.r_wire * j;
+      const double catten = col_atten[static_cast<std::size_t>(j)];
+      for (std::int64_t i = 0; i < rows_; ++i) {
+        const double atten =
+            1.0 / (1.0 + r_row_base * growsum[static_cast<std::size_t>(i)]);
+        const double gij = pgf[i * cols_ + j];
+        const double s = atten * catten;
+        // Smallest cmax whose row fails the interpreter's poly condition;
+        // rows with cmax below it take the polynomial branch.
+        int cut = max_code + 1;
+        for (int c = 1; c <= max_code; ++c) {
+          const double vmax =
+              static_cast<double>(v_unit * static_cast<float>(c));
+          if (!(std::abs(b) * s * vmax < 1.2)) {
+            cut = c;
+            break;
+          }
+        }
+        cut_[static_cast<std::size_t>(j * rows_ + i)] =
+            static_cast<std::int8_t>(cut);
+        double* poly =
+            tabs_.data() + static_cast<std::size_t>((j * rows_ + i) * 2) *
+                               static_cast<std::size_t>(codes_);
+        double* exact = poly + codes_;
+        for (int c = 0; c <= max_code; ++c) {
+          const float vf = v_unit * static_cast<float>(c);
+          const double v_eff = static_cast<double>(vf) * atten * catten;
+          const double x = b * v_eff;
+          const double x2 = x * x;
+          constexpr double c1 = 1.0 / 6.0, c2 = 1.0 / 120.0;
+          constexpr double c3 = 1.0 / 5040.0, c4 = 1.0 / 362880.0;
+          const double shc =
+              1.0 + x2 * (c1 + x2 * (c2 + x2 * (c3 + x2 * c4)));
+          poly[c] = gij * v_eff * shc;
+          exact[c] = device_current(gij, v_eff, b);
+        }
+      }
+    }
+  }
+
+  void run(const ChunkBlock& cb, std::int64_t rows_used,
+           std::int64_t cols_used, float* out,
+           simd::Workspace& ws) const override {
+    NVM_CHECK_EQ(cb.rows, rows_);
+    NVM_CHECK_EQ(cb.v_unit, v_unit_);
+    const std::int64_t n = cb.n;
+    if (n == 0) return;
+    count_mvm_multi_columns(n);
+    std::span<double> acc = ws.doubles(11, static_cast<std::size_t>(n));
+    for (std::int64_t j = 0; j < cols_used; ++j) {
+      const double* cells =
+          tabs_.data() + static_cast<std::size_t>(j * rows_ * 2) *
+                             static_cast<std::size_t>(codes_);
+      const std::int8_t* cut = cut_.data() + j * rows_;
+      for (std::int64_t k = 0; k < n; ++k)
+        acc[static_cast<std::size_t>(k)] = 0.0;
+      for (std::int64_t i = 0; i < rows_used; ++i) {
+        const int cmax = cb.row_max[i];
+        if (cmax == 0) continue;  // all contributions exactly +0.0
+        const double* tab = cells + (i * 2 + (cmax < cut[i] ? 0 : 1)) * codes_;
+        const std::int8_t* crow = cb.chunk + i * n;
+        for (std::int64_t k = 0; k < n; ++k)
+          acc[static_cast<std::size_t>(k)] += tab[crow[k]];
+      }
+      float* orow = out + j * n;
+      for (std::int64_t k = 0; k < n; ++k)
+        orow[k] = static_cast<float>(acc[static_cast<std::size_t>(k)]);
+    }
+    guard_output_finite(out, cols_used * n, "fast_noise");
+  }
+
+ private:
+  std::int64_t rows_, cols_;
+  float v_unit_;
+  std::int64_t codes_;
+  std::vector<double> tabs_;     ///< [(j*rows + i) * 2 + branch][code]
+  std::vector<std::int8_t> cut_; ///< [j*rows + i] poly/exact cutoff cmax
+};
+
 class FastNoiseProgrammed final : public ProgrammedXbar {
  public:
   FastNoiseProgrammed(const CrossbarConfig& cfg, Tensor g)
@@ -56,6 +164,20 @@ class FastNoiseProgrammed final : public ProgrammedXbar {
   Tensor mvm_multi(const Tensor& v_block) override {
     NVM_CHECK_EQ(v_block.rank(), 2u);
     return mvm_multi_active(v_block, cfg_.rows, cfg_.cols);
+  }
+
+  std::unique_ptr<FusedChunkKernel> compile_chunk_kernel(
+      float v_unit, int max_code) const override {
+    // The table layout holds 2*(max_code+1) doubles per cell; stay within
+    // the interpreter's 7-bit code assumption and a sane footprint
+    // (8 MiB/kernel covers 256x256 tiles at stream_bits <= 5).
+    if (max_code < 1 || max_code + 1 > 32) return nullptr;
+    const std::int64_t doubles =
+        cfg_.rows * cfg_.cols * 2 * (max_code + 1);
+    if (doubles > (std::int64_t{1} << 20)) return nullptr;
+    return std::make_unique<FastNoiseFusedKernel>(cfg_, g_, growsum_,
+                                                  col_atten_, v_unit,
+                                                  max_code);
   }
 
   Tensor mvm_chunks_active(const ChunkBlock& cb, std::int64_t rows_used,

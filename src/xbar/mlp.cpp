@@ -72,7 +72,8 @@ void MlpRegressor::predict_block(const float* features_t, std::int64_t n,
   constexpr std::int64_t kPad = 16;
   const std::int64_t np = (n + kPad - 1) / kPad * kPad;
   const float* w1 = w1_.raw();
-  thread_local simd::Workspace ws;
+  simd::WorkspacePool::Lease lease = simd::shared_workspace_pool().acquire();
+  simd::Workspace& ws = lease.get();
   std::span<float> fp = ws.floats(0, static_cast<std::size_t>(in_dim_ * np));
   std::span<float> hid = ws.floats(1, static_cast<std::size_t>(hidden_ * np));
   std::span<float> op = ws.floats(2, static_cast<std::size_t>(np));

@@ -102,6 +102,13 @@ std::unique_ptr<XbarStream> ProgrammedXbar::open_stream() {
   return std::make_unique<PassthroughStream>(this);
 }
 
+std::unique_ptr<FusedChunkKernel> ProgrammedXbar::compile_chunk_kernel(
+    float v_unit, int max_code) const {
+  (void)v_unit;
+  (void)max_code;
+  return nullptr;  // no fused form; callers use the stream path
+}
+
 Tensor ProgrammedXbar::mvm_batch(const Tensor& v_batch) {
   NVM_CHECK_EQ(v_batch.rank(), 2u);
   const std::int64_t rows = v_batch.dim(0), n = v_batch.dim(1);
@@ -138,9 +145,11 @@ void validate_conductances(const Tensor& g, const CrossbarConfig& cfg) {
 }
 
 std::int64_t guard_output_finite(Tensor& out, const char* who) {
+  return guard_output_finite(out.raw(), out.numel(), who);
+}
+
+std::int64_t guard_output_finite(float* p, std::int64_t n, const char* who) {
   std::int64_t scrubbed = 0;
-  float* p = out.raw();
-  const std::int64_t n = out.numel();
   for (std::int64_t i = 0; i < n; ++i) {
     if (!std::isfinite(p[i])) {
       p[i] = 0.0f;

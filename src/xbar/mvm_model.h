@@ -16,6 +16,10 @@
 #include "tensor/tensor.h"
 #include "xbar/config.h"
 
+namespace nvm::simd {
+class Workspace;
+}
+
 namespace nvm::xbar {
 
 class XbarStream;
@@ -32,6 +36,32 @@ struct ChunkBlock {
   std::int64_t rows = 0;
   std::int64_t n = 0;
   float v_unit = 0.0f;  ///< volts per code step
+};
+
+/// A compiled, input-independent evaluation kernel for the chunk MVM of
+/// one programmed crossbar (see ProgrammedXbar::compile_chunk_kernel).
+/// Where mvm_chunks_active rebuilds its per-cell code tables on every
+/// call, a fused kernel precomputes everything that depends only on
+/// programmed state and the DAC code alphabet, leaving just the per-cell
+/// gather at run time. Contract: run() writes the same (cols_used x n)
+/// currents mvm_chunks_active would return — bit-identical — into
+/// caller-provided scratch (row j of the tile's output at out + j*n), and
+/// performs the same metric/health accounting (count_mvm_multi_columns +
+/// non-finite scrub). Kernels borrow the xbar (keep it alive) and are
+/// immutable after compile: run() is safe to call concurrently.
+class FusedChunkKernel {
+ public:
+  virtual ~FusedChunkKernel() = default;
+
+  /// Evaluates the chunk block; `cb.v_unit` must equal the v_unit the
+  /// kernel was compiled for and codes must stay <= the compiled
+  /// max_code. `out` must hold cols_used * n floats (fully overwritten).
+  /// `ws` provides the kernel's scratch — planned per task by the caller
+  /// instead of ad-hoc thread_local buffers (kernels use double slot 11
+  /// so they never alias the tiled-GEMM's own slots).
+  virtual void run(const ChunkBlock& cb, std::int64_t rows_used,
+                   std::int64_t cols_used, float* out,
+                   simd::Workspace& ws) const = 0;
 };
 
 /// A conductance matrix resident on a (model of a) crossbar.
@@ -90,6 +120,15 @@ class ProgrammedXbar {
   virtual Tensor mvm_chunks_active(const ChunkBlock& cb,
                                    std::int64_t rows_used,
                                    std::int64_t cols_used);
+
+  /// Compiles a fused, input-independent kernel for mvm_chunks_active
+  /// with DAC step `v_unit` and codes in [0, max_code] (the execution-plan
+  /// layer calls this once per tile at plan build). Returns nullptr when
+  /// the model has no profitable fused form (the default) — callers fall
+  /// back to the stream path. Non-null kernels are bit-identical to
+  /// mvm_chunks_active by the FusedChunkKernel contract.
+  virtual std::unique_ptr<FusedChunkKernel> compile_chunk_kernel(
+      float v_unit, int max_code) const;
 
   /// Opens an evaluation stream for a sequence of RELATED v-blocks (the
   /// DAC bit-stream chunks of one tiled-GEMM input). A stream may carry
@@ -158,6 +197,10 @@ void count_mvm_multi_columns(std::int64_t n);
 /// passes through this guard so a diverged solve or a wild surrogate
 /// prediction degrades instead of propagating NaN into the network.
 std::int64_t guard_output_finite(Tensor& out, const char* who);
+
+/// Raw-buffer overload for kernels that write into caller scratch instead
+/// of a Tensor (same scrub + health accounting).
+std::int64_t guard_output_finite(float* out, std::int64_t n, const char* who);
 
 /// Exact I_j = sum_i V_i * G_ij — "accurate digital" reference.
 class IdealXbarModel final : public MvmModel {
